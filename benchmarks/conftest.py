@@ -1,0 +1,27 @@
+"""Benchmark-wide knobs.
+
+Every benchmark regenerates one figure of the paper on scaled-down defaults
+(DESIGN.md documents the scaling).  pytest-benchmark runs each scenario a
+single round — these are scenario regenerations, not microbenchmarks, and
+the interesting output is the printed paper-style rows plus the timing.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run benches at closer-to-paper scale (much slower)",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request):
+    return request.config.getoption("--paper-scale")
+
+
+#: single-round pedantic settings shared by all scenario benches
+BENCH_KW = dict(iterations=1, rounds=1, warmup_rounds=0)

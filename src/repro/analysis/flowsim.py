@@ -1,0 +1,207 @@
+"""Flow-level (fluid) network simulator: max-min fair sharing, no packets.
+
+Use case (DESIGN.md): cross-validating FCT *trends* at the paper's full
+scale (k=8 fat-tree, 128 hosts, thousands of flows), where packet-level
+simulation in Python is impractical.  A congestion-controlled fabric in
+steady state approximates max-min fairness, so this model predicts the
+workload-level shape (which size bins suffer, where the load knee is) that
+an ideally-converging CC — FNCC's aspiration — would achieve.
+
+Mechanics: between flow arrivals/completions, every active flow gets its
+max-min fair rate (progressive waterfilling over directed links); the next
+event is the earliest completion under those rates.  Completion times then
+get the path's base store-and-forward latency added so slowdowns are
+comparable with :func:`repro.metrics.ideal.ideal_fct_ps`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.metrics.ideal import ideal_fct_ps
+from repro.transport.flow import Flow, FlowRecord
+from repro.units import DEFAULT_MTU, serialization_ps
+
+LinkKey = Tuple[Hashable, Hashable]
+PathFn = Callable[[Flow], List[LinkKey]]
+
+
+class FlowSimResult:
+    """Completion records with paper-comparable slowdowns."""
+
+    def __init__(self) -> None:
+        self.records: List[FlowRecord] = []
+
+    def add(self, rec: FlowRecord) -> None:
+        self.records.append(rec)
+
+    def slowdowns(self) -> List[float]:
+        return [r.slowdown for r in self.records]
+
+    def completed(self) -> int:
+        return len(self.records)
+
+
+class FlowLevelSimulator:
+    """Max-min fluid simulator over a directed-capacity link set."""
+
+    def __init__(self) -> None:
+        self._capacity: Dict[LinkKey, float] = {}  # bytes/ps
+        self._link_attrs: Dict[LinkKey, Tuple[float, int]] = {}  # (gbps, prop)
+
+    def add_link(
+        self, u: Hashable, v: Hashable, rate_gbps: float, prop_delay_ps: int = 0
+    ) -> None:
+        """A full-duplex link: two independent directed capacities."""
+        if rate_gbps <= 0:
+            raise ValueError("rate must be positive")
+        for key in ((u, v), (v, u)):
+            self._capacity[key] = rate_gbps / 8000.0
+            self._link_attrs[key] = (rate_gbps, prop_delay_ps)
+
+    @property
+    def n_links(self) -> int:
+        return len(self._capacity)
+
+    # -- max-min waterfilling -----------------------------------------------------
+    def _fair_rates(
+        self, flows_on_link: Dict[LinkKey, List[int]], flow_links: Dict[int, List[LinkKey]]
+    ) -> Dict[int, float]:
+        rates: Dict[int, float] = {}
+        remaining = {k: self._capacity[k] for k, v in flows_on_link.items() if v}
+        unfrozen: Dict[LinkKey, set] = {
+            k: set(v) for k, v in flows_on_link.items() if v
+        }
+        while remaining:
+            # The tightest link determines the next freezing level.
+            key, cap = min(
+                remaining.items(), key=lambda kv: kv[1] / max(1, len(unfrozen[kv[0]]))
+            )
+            users = unfrozen[key]
+            if not users:
+                del remaining[key]
+                continue
+            share = cap / len(users)
+            for fid in list(users):
+                rates[fid] = share
+                # Freeze this flow everywhere, returning unused capacity.
+                for lk in flow_links[fid]:
+                    if lk in remaining:
+                        remaining[lk] -= share
+                        unfrozen[lk].discard(fid)
+                        if not unfrozen[lk]:
+                            del remaining[lk]
+                            del unfrozen[lk]
+        return rates
+
+    # -- event loop ------------------------------------------------------------------
+    def run(
+        self,
+        flows: Sequence[Flow],
+        path_fn: PathFn,
+        mtu: int = DEFAULT_MTU,
+        header: int = 48,
+    ) -> FlowSimResult:
+        """Simulate the flow set; returns completion records with slowdowns
+        normalized exactly like the packet simulator's."""
+        result = FlowSimResult()
+        arrivals = sorted(flows, key=lambda f: f.start_ps)
+        paths: Dict[int, List[LinkKey]] = {}
+        path_latency: Dict[int, int] = {}
+        ideal: Dict[int, int] = {}
+        for f in arrivals:
+            path = list(path_fn(f))
+            if not path:
+                raise ValueError(f"flow {f.flow_id}: empty path")
+            for lk in path:
+                if lk not in self._capacity:
+                    raise KeyError(f"flow {f.flow_id}: unknown link {lk}")
+            paths[f.flow_id] = path
+            links = [
+                (self._link_attrs[lk][0], self._link_attrs[lk][1]) for lk in path
+            ]
+            ideal[f.flow_id] = ideal_fct_ps(f.size_bytes, links, mtu=mtu, header=header)
+            # Base latency of the last byte once transmission finishes:
+            # remaining hops' store-and-forward + propagation.
+            last = links[-1]
+            path_latency[f.flow_id] = sum(d for _, d in links) + sum(
+                serialization_ps(min(mtu, f.size_bytes + header), r) for r, _ in links[1:]
+            )
+
+        # Flows are serviced in *wire bytes* (payload inflated by per-frame
+        # header overhead) so single-flow slowdowns land at exactly 1.0
+        # against the header-aware ideal FCT.
+        wire_factor = mtu / (mtu - header)
+        remaining: Dict[int, float] = {}
+        active: Dict[int, Flow] = {}
+        now = 0.0
+        i = 0
+        n = len(arrivals)
+        while active or i < n:
+            # Admit everything arriving at `now`.
+            if not active and i < n and arrivals[i].start_ps > now:
+                now = float(arrivals[i].start_ps)
+            while i < n and arrivals[i].start_ps <= now:
+                f = arrivals[i]
+                active[f.flow_id] = f
+                remaining[f.flow_id] = f.size_bytes * wire_factor
+                i += 1
+            # Fair rates for the current active set.
+            flows_on_link: Dict[LinkKey, List[int]] = {}
+            flow_links = {fid: paths[fid] for fid in active}
+            for fid, path in flow_links.items():
+                for lk in path:
+                    flows_on_link.setdefault(lk, []).append(fid)
+            rates = self._fair_rates(flows_on_link, flow_links)
+            # Next event: earliest completion or next arrival.
+            t_complete = min(
+                (remaining[fid] / rates[fid], fid)
+                for fid in active
+                if rates.get(fid, 0) > 0
+            )
+            dt_arrival = (arrivals[i].start_ps - now) if i < n else float("inf")
+            dt = min(t_complete[0], dt_arrival)
+            now += dt
+            for fid in list(active):
+                remaining[fid] -= rates.get(fid, 0.0) * dt
+                if remaining[fid] <= 1e-6:
+                    f = active.pop(fid)
+                    del remaining[fid]
+                    rec = FlowRecord(f, round(now) + path_latency[fid])
+                    rec.ideal_fct_ps = ideal[fid]
+                    result.add(rec)
+        return result
+
+
+def from_topology(topo) -> Tuple[FlowLevelSimulator, PathFn]:
+    """Build a flow-level simulator mirroring a packet
+    :class:`~repro.topo.base.Topology`, with a path function that follows
+    the *same ECMP decisions* as the packet switches (so the two simulators
+    are comparable flow by flow)."""
+    from repro.net.packet import DATA, Packet
+
+    fls = FlowLevelSimulator()
+    for u, v, attrs in topo.graph.edges(data=True):
+        fls.add_link(u, v, attrs["rate_gbps"], attrs["prop_delay_ps"])
+
+    def path_fn(flow: Flow) -> List[LinkKey]:
+        pkt = Packet(DATA, flow_id=flow.flow_id, src=flow.src, dst=flow.dst)
+        src_name = topo.hosts[flow.src].name
+        dst_name = topo.hosts[flow.dst].name
+        current = next(iter(topo.graph[src_name]))
+        hops: List[LinkKey] = [(src_name, current)]
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 64:
+                raise RuntimeError("routing loop in path_fn")
+            sw = topo.node(current)
+            out = sw.router(sw, pkt)
+            peer = sw.ports[out].peer.node.name
+            hops.append((current, peer))
+            if peer == dst_name:
+                return hops
+            current = peer
+
+    return fls, path_fn

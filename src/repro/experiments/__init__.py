@@ -1,0 +1,25 @@
+"""Experiment harness: one module per data figure of the paper.
+
+Each module exposes a ``run_*`` function returning a structured result and
+a ``main()`` that prints the paper-style rows.  ``python -m
+repro.experiments.runner --list`` enumerates them; DESIGN.md carries the
+figure-to-module index and EXPERIMENTS.md the paper-vs-measured record.
+"""
+
+from repro.experiments.common import (
+    CcEnv,
+    build_cc_env,
+    launch_flows,
+    MicrobenchResult,
+    run_microbench,
+    quick_dumbbell,
+)
+
+__all__ = [
+    "CcEnv",
+    "build_cc_env",
+    "launch_flows",
+    "MicrobenchResult",
+    "run_microbench",
+    "quick_dumbbell",
+]

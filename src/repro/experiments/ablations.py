@@ -1,0 +1,170 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these probe *why* FNCC behaves as it does:
+
+* ``beta_sweep`` — LHCS drain factor beta (paper: "slightly smaller than
+  one, e.g. 0.9").  Smaller beta drains faster but sacrifices utilization.
+* ``alpha_sweep`` — LHCS trigger threshold alpha (paper: 1.05).  Too low
+  over-triggers; too high never fires.
+* ``ack_coalescing_sweep`` — cumulative-ACK factor m (§3.2.3 supports one
+  ACK per m packets): coarser ACKs slow notification for every scheme.
+* ``lhcs_contribution`` — FNCC with vs without LHCS on last-hop congestion
+  (Fig. 13c/d decomposition).
+* ``int_staleness_sweep`` — All_INT_Table refresh period (§4.1 "updated
+  periodically"): stale telemetry converges toward HPCC-like sluggishness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.common import run_microbench
+from repro.experiments.fig13_congestion_location import run_location
+from repro.units import KB, MB, us
+
+
+def beta_sweep(
+    betas: Sequence[float] = (0.7, 0.8, 0.9, 0.95), duration_us: float = 600.0
+) -> Dict[float, Tuple[float, float]]:
+    """beta -> (peak queue KB, mean utilization) on last-hop congestion."""
+    out = {}
+    for beta in betas:
+        r = run_location("fncc", "last", duration_us=duration_us, beta=beta)
+        out[beta] = (
+            r.peak_queue_bytes / KB,
+            r.utilization.mean_after(us(100)),
+        )
+    return out
+
+
+def alpha_sweep(
+    alphas: Sequence[float] = (1.01, 1.05, 1.5, 3.0), duration_us: float = 600.0
+) -> Dict[float, float]:
+    """alpha -> standing queue (KB) on last-hop congestion.
+
+    The raw peak includes the pre-notification burst, so the sweep reports
+    the post-join transient window [305, 450] us instead.  A
+    threshold too high to ever fire (u tops out near 1 + q_peak/BDP ~ 1.5
+    here) degenerates to FNCC-without-LHCS.
+    """
+    out = {}
+    for a in alphas:
+        r = run_location("fncc", "last", duration_us=duration_us, alpha=a)
+        out[a] = r.queue.max_between(us(305), us(450)) / KB
+    return out
+
+
+def ack_coalescing_sweep(
+    ms_: Sequence[int] = (1, 2, 4, 8), duration_us: float = 600.0
+) -> Dict[int, float]:
+    """ACK-per-m-packets -> peak queue KB (dumbbell, FNCC)."""
+    out = {}
+    for m in ms_:
+        from repro.experiments.common import build_cc_env, launch_flows
+        from repro.metrics.monitors import QueueSampler
+        from repro.sim.engine import Simulator
+        from repro.sim.rng import SeedSequenceFactory
+        from repro.topo.base import LinkSpec
+        from repro.topo.dumbbell import dumbbell
+        from repro.traffic.generator import staggered_elephants
+        from repro.transport.sender import TransportConfig
+
+        sim = Simulator()
+        env = build_cc_env("fncc")
+        topo = dumbbell(
+            sim,
+            n_senders=2,
+            link=LinkSpec(100.0, us(1.5)),
+            switch_config=env.switch_config,
+            transport_config=TransportConfig(ack_every=m),
+            seeds=SeedSequenceFactory(1),
+        )
+        flows = staggered_elephants(
+            [h.host_id for h in topo.hosts[:2]],
+            topo.hosts[-1].host_id,
+            20 * MB,
+            us(300),
+        )
+        launch_flows(topo, flows, env)
+        sw = topo.switches[0]
+        port_idx = topo.graph.edges[sw.name, topo.switches[1].name]["ports"][sw.name]
+        qmon = QueueSampler(sim, sw.ports[port_idx], us(1))
+        sim.run(until=us(duration_us))
+        out[m] = qmon.series.max() / KB
+    return out
+
+
+def lhcs_contribution(duration_us: float = 800.0) -> Dict[str, float]:
+    """Peak queue (KB) on last-hop congestion: HPCC vs FNCC +- LHCS."""
+    return {
+        "hpcc": run_location("hpcc", "last", duration_us=duration_us).peak_queue_bytes / KB,
+        "fncc_nolhcs": run_location(
+            "fncc", "last", duration_us=duration_us, lhcs_enabled=False
+        ).peak_queue_bytes / KB,
+        "fncc_lhcs": run_location("fncc", "last", duration_us=duration_us).peak_queue_bytes / KB,
+    }
+
+
+def int_staleness_sweep(
+    periods_us: Sequence[float] = (0.0, 1.0, 5.0, 20.0), duration_us: float = 600.0
+) -> Dict[float, float]:
+    """All_INT_Table refresh period -> peak queue KB.  0 = live readout."""
+    from repro.experiments.common import build_cc_env, launch_flows
+    from repro.metrics.monitors import QueueSampler
+    from repro.net.switch import SwitchConfig, IntMode
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import SeedSequenceFactory
+    from repro.topo.base import LinkSpec
+    from repro.topo.dumbbell import dumbbell
+    from repro.traffic.generator import staggered_elephants
+
+    out = {}
+    for period in periods_us:
+        sim = Simulator()
+        env = build_cc_env("fncc")
+        cfg = SwitchConfig(
+            int_mode=IntMode.FNCC,
+            int_table_refresh_ps=us(period) if period > 0 else 0,
+        )
+        topo = dumbbell(
+            sim,
+            n_senders=2,
+            link=LinkSpec(100.0, us(1.5)),
+            switch_config=cfg,
+            seeds=SeedSequenceFactory(1),
+        )
+        flows = staggered_elephants(
+            [h.host_id for h in topo.hosts[:2]],
+            topo.hosts[-1].host_id,
+            20 * MB,
+            us(300),
+        )
+        launch_flows(topo, flows, env)
+        sw = topo.switches[0]
+        port_idx = topo.graph.edges[sw.name, topo.switches[1].name]["ports"][sw.name]
+        qmon = QueueSampler(sim, sw.ports[port_idx], us(1))
+        sim.run(until=us(duration_us))
+        out[period] = qmon.series.max() / KB
+    return out
+
+
+def main() -> None:
+    print("LHCS contribution (last-hop peak queue, KB):")
+    for k, v in lhcs_contribution().items():
+        print(f"  {k:>12}: {v:8.1f}")
+    print("beta sweep (peakQ KB, util):")
+    for b, (q, u) in beta_sweep().items():
+        print(f"  beta={b:4.2f}: {q:8.1f} KB  util={u:.3f}")
+    print("alpha sweep (peakQ KB):")
+    for a, q in alpha_sweep().items():
+        print(f"  alpha={a:4.2f}: {q:8.1f} KB")
+    print("ACK coalescing sweep (peakQ KB):")
+    for m, q in ack_coalescing_sweep().items():
+        print(f"  m={m}: {q:8.1f} KB")
+    print("INT staleness sweep (peakQ KB):")
+    for p, q in int_staleness_sweep().items():
+        print(f"  refresh={p:4.1f}us: {q:8.1f} KB")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,157 @@
+"""The §5.5 large-scale experiment: FCT slowdown on a fat-tree under
+Poisson traffic from the WebSearch / FB_Hadoop distributions at 50% load.
+
+Scaling (DESIGN.md): the paper uses k=8 (128 servers) and minutes of
+traffic on a C++ simulator.  Pure Python defaults to k=4 (16 servers),
+a few hundred flows, and a flow-size ``scale`` < 1; FCT *slowdown* is
+normalized so the comparative shape survives.  Full-scale parameters are
+plain arguments (``k=8, scale=1.0, n_flows=...``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import CcEnv, build_cc_env, launch_flows
+from repro.metrics.fct import (
+    SIZE_BINS_HADOOP,
+    SIZE_BINS_WEBSEARCH,
+    FctCollector,
+    SlowdownTable,
+)
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeedSequenceFactory
+from repro.topo.base import LinkSpec
+from repro.topo.fattree import fattree
+from repro.traffic.cdf import PiecewiseCdf
+from repro.traffic.distributions import fb_hadoop_cdf, websearch_cdf
+from repro.traffic.generator import PoissonWorkload
+from repro.units import MS, us
+
+WORKLOADS = {
+    "websearch": (websearch_cdf, SIZE_BINS_WEBSEARCH),
+    "hadoop": (fb_hadoop_cdf, SIZE_BINS_HADOOP),
+}
+
+
+class FctResult:
+    """Everything Figs. 14/15 need: the collector and the binned table."""
+
+    def __init__(
+        self,
+        cc: str,
+        workload: str,
+        collector: FctCollector,
+        bins: Sequence[int],
+        n_flows: int,
+        sim: Simulator,
+    ) -> None:
+        self.cc = cc
+        self.workload = workload
+        self.collector = collector
+        self.bins = list(bins)
+        self.n_flows = n_flows
+        self.sim = sim
+
+    @property
+    def table(self) -> SlowdownTable:
+        return self.collector.table(self.bins)
+
+    def completed(self) -> int:
+        return self.collector.completed()
+
+
+def run_fct_experiment(
+    cc: str,
+    workload: str = "websearch",
+    k: int = 4,
+    load: float = 0.5,
+    n_flows: int = 200,
+    scale: float = 0.1,
+    link_rate_gbps: float = 100.0,
+    seed: int = 1,
+    max_horizon_ms: float = 50.0,
+    bins: Optional[Sequence[int]] = None,
+    **cc_params,
+) -> FctResult:
+    """Run one (CC, workload) cell of Figs. 14/15.
+
+    Runs until every generated flow completes or ``max_horizon_ms`` elapses
+    (stragglers under a misbehaving CC should not hang the harness; the
+    completion count is part of the result).
+    """
+    if workload not in WORKLOADS:
+        raise ValueError(f"workload must be one of {sorted(WORKLOADS)}")
+    cdf_fn, default_bins = WORKLOADS[workload]
+    cdf: PiecewiseCdf = cdf_fn(scale=scale)
+    bins = list(bins) if bins is not None else [round(b * scale) for b in default_bins]
+
+    sim = Simulator()
+    seeds = SeedSequenceFactory(seed)
+    env: CcEnv = build_cc_env(cc, link_rate_gbps=link_rate_gbps, **cc_params)
+    topo = fattree(
+        sim,
+        k=k,
+        link=LinkSpec(rate_gbps=link_rate_gbps, prop_delay_ps=us(1.5)),
+        switch_config=env.switch_config,
+        seeds=seeds,
+        cnp_enabled=env.cnp_enabled,
+    )
+    env.post_install(topo)
+    collector = FctCollector(topo)
+
+    flows = PoissonWorkload(
+        n_hosts=len(topo.hosts),
+        host_rate_gbps=link_rate_gbps,
+        cdf=cdf,
+        load=load,
+        seeds=seeds,
+    ).generate(n_flows)
+    launch_flows(topo, flows, env)
+
+    horizon = round(max_horizon_ms * MS)
+    chunk = MS // 2
+    t = 0
+    while collector.completed() < n_flows and t < horizon:
+        t = min(t + chunk, horizon)
+        sim.run(until=t)
+        if sim.peek() is None:
+            break
+    return FctResult(cc, workload, collector, bins, n_flows, sim)
+
+
+def compare_ccs(
+    ccs: Sequence[str] = ("dcqcn", "hpcc", "fncc"),
+    workload: str = "websearch",
+    **kwargs,
+) -> Dict[str, FctResult]:
+    """One Figs. 14/15 panel family: the same workload under each CC."""
+    return {cc: run_fct_experiment(cc, workload=workload, **kwargs) for cc in ccs}
+
+
+def format_panel(
+    results: Dict[str, FctResult], column: str, title: str
+) -> str:
+    """Render one panel (avg / median / p95 / p99) as the paper's rows:
+    size bins across, one line per CC."""
+    ccs = list(results)
+    bins = results[ccs[0]].bins
+    lines = [title]
+    header = f"{'cc':>8} " + " ".join(f"{_short_size(b):>8}" for b in bins)
+    lines.append(header)
+    for cc in ccs:
+        table = results[cc].table
+        cells = []
+        for b in bins:
+            s = table.stat(b, column)
+            cells.append(f"{s:8.2f}" if s is not None else f"{'-':>8}")
+        lines.append(f"{cc:>8} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def _short_size(nbytes: int) -> str:
+    if nbytes >= 1_000_000:
+        return f"{nbytes / 1_000_000:g}M"
+    if nbytes >= 1_000:
+        return f"{nbytes / 1_000:g}K"
+    return f"{nbytes}B"

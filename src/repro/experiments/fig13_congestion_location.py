@@ -1,0 +1,123 @@
+"""Figs. 13a-d — congestion at the first, middle, or last hop (Fig. 11
+topologies), HPCC vs FNCC, with the LHCS ablation on the last hop.
+
+Paper numbers (queue-depth reduction of FNCC vs HPCC): 37.5% first hop,
+29.5% middle hop, 8.4% last hop without LHCS, 38.5% last hop with LHCS —
+while keeping utilization at least as high.  Fig. 13d additionally shows
+the last-hop flow rates snapping to ``fair * beta`` under LHCS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.common import CcEnv, MicrobenchResult, build_cc_env, launch_flows
+from repro.metrics.monitors import QueueSampler, RateSampler, UtilizationSampler, pause_frame_count
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeedSequenceFactory
+from repro.topo.base import LinkSpec
+from repro.topo.parkinglot import LOCATIONS, congestion_at
+from repro.traffic.generator import staggered_elephants
+from repro.units import KB, MB, us
+
+
+def run_location(
+    cc: str,
+    location: str,
+    link_rate_gbps: float = 100.0,
+    flow_size_bytes: int = 20 * MB,
+    stagger_us: float = 300.0,
+    duration_us: float = 800.0,
+    seed: int = 1,
+    **cc_params,
+) -> MicrobenchResult:
+    """One cell of Fig. 13a-c: two elephants colliding at ``location``."""
+    sim = Simulator()
+    seeds = SeedSequenceFactory(seed)
+    env: CcEnv = build_cc_env(cc, link_rate_gbps=link_rate_gbps, **cc_params)
+    topo = congestion_at(
+        sim,
+        location,
+        link=LinkSpec(rate_gbps=link_rate_gbps, prop_delay_ps=us(1.5)),
+        switch_config=env.switch_config,
+        seeds=seeds,
+        cnp_enabled=env.cnp_enabled,
+    )
+    env.post_install(topo)
+    receiver = topo.node("receiver0")
+    senders = [topo.node("sender0"), topo.node("sender1")]
+    flows = staggered_elephants(
+        sender_ids=[s.host_id for s in senders],
+        receiver_id=receiver.host_id,
+        size_bytes=flow_size_bytes,
+        stagger_ps=us(stagger_us),
+    )
+    qps = launch_flows(topo, flows, env)
+
+    port = topo.switches[topo.congested_switch_index].ports[topo.congested_port_index]
+    qmon = QueueSampler(sim, port, interval_ps=us(1))
+    umon = UtilizationSampler(sim, port, interval_ps=us(5))
+    rmons = {fid: RateSampler(sim, qp, interval_ps=us(1)) for fid, qp in qps.items()}
+    sim.run(until=us(duration_us))
+    return MicrobenchResult(
+        cc=cc,
+        link_rate_gbps=link_rate_gbps,
+        queue=qmon.series,
+        rates={fid: m.series for fid, m in rmons.items()},
+        utilization=umon.series,
+        pause_frames=pause_frame_count(topo.switches),
+        topo=topo,
+        sim=sim,
+    )
+
+
+def run_fig13(
+    duration_us: float = 800.0, seed: int = 1
+) -> Dict[str, Dict[str, MicrobenchResult]]:
+    """All Fig. 13a-c cells.  Keys: location -> scheme, where scheme is
+    'hpcc', 'fncc' (LHCS on) or 'fncc_nolhcs' (last hop only)."""
+    out: Dict[str, Dict[str, MicrobenchResult]] = {}
+    for loc in LOCATIONS:
+        out[loc] = {
+            "hpcc": run_location("hpcc", loc, duration_us=duration_us, seed=seed),
+            "fncc": run_location("fncc", loc, duration_us=duration_us, seed=seed),
+        }
+        if loc == "last":
+            out[loc]["fncc_nolhcs"] = run_location(
+                "fncc", loc, duration_us=duration_us, seed=seed, lhcs_enabled=False
+            )
+    return out
+
+
+def queue_reduction_pct(hpcc: MicrobenchResult, fncc: MicrobenchResult) -> float:
+    """Peak-queue reduction of FNCC relative to HPCC (the Fig. 13 metric)."""
+    base = hpcc.peak_queue_bytes
+    if base <= 0:
+        return 0.0
+    return 100.0 * (base - fncc.peak_queue_bytes) / base
+
+
+def main() -> None:
+    results = run_fig13()
+    print("Fig 13a-d — queue depth by congestion location (KB) and FNCC reduction")
+    for loc, cells in results.items():
+        hp = cells["hpcc"]
+        fn = cells["fncc"]
+        line = (
+            f"{loc:>7}: HPCC={hp.peak_queue_bytes / KB:7.1f}  "
+            f"FNCC={fn.peak_queue_bytes / KB:7.1f}  "
+            f"reduction={queue_reduction_pct(hp, fn):5.1f}%  "
+            f"util HPCC={hp.utilization.mean_after(us(100)):.3f} "
+            f"FNCC={fn.utilization.mean_after(us(100)):.3f}"
+        )
+        if "fncc_nolhcs" in cells:
+            nl = cells["fncc_nolhcs"]
+            line += (
+                f"  [no-LHCS peak={nl.peak_queue_bytes / KB:7.1f} "
+                f"reduction={queue_reduction_pct(hp, nl):5.1f}%]"
+            )
+        print(line)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,71 @@
+"""Fig. 14 — FCT slowdown (average / median / 95th / 99th) under the
+WebSearch distribution at 50% load on a fat-tree, for DCQCN, HPCC, FNCC.
+
+Paper headline for this workload: for flows > 1 MB, FNCC cuts the *median*
+slowdown by ~12.4% vs HPCC and ~42.8% vs DCQCN; FNCC has the lowest tail
+latency throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments.fct_experiment import (
+    FctResult,
+    compare_ccs,
+    format_panel,
+)
+from repro.metrics.fct import PERCENTILE_COLUMNS
+
+CCS = ("dcqcn", "hpcc", "fncc")
+
+
+def run_fig14(
+    ccs: Sequence[str] = CCS,
+    k: int = 4,
+    load: float = 0.5,
+    n_flows: int = 200,
+    scale: float = 0.1,
+    seed: int = 1,
+    **kwargs,
+) -> Dict[str, FctResult]:
+    return compare_ccs(
+        ccs,
+        workload="websearch",
+        k=k,
+        load=load,
+        n_flows=n_flows,
+        scale=scale,
+        seed=seed,
+        **kwargs,
+    )
+
+
+def long_flow_median_reduction(results: Dict[str, FctResult], min_size_scaled: int) -> Dict[str, float]:
+    """FNCC's median-slowdown reduction (%) vs each baseline for flows
+    larger than ``min_size_scaled`` (1 MB x scale in the paper)."""
+    fncc = results["fncc"].table.aggregate("median", min_size=min_size_scaled)
+    out = {}
+    for cc in results:
+        if cc == "fncc":
+            continue
+        base = results[cc].table.aggregate("median", min_size=min_size_scaled)
+        if base and fncc:
+            out[cc] = 100.0 * (base - fncc) / base
+    return out
+
+
+def main() -> None:
+    results = run_fig14()
+    for col in PERCENTILE_COLUMNS:
+        print(format_panel(results, col, f"\nFig 14 ({col}) — WebSearch @50% load, FCT slowdown"))
+    completed = {cc: r.completed() for cc, r in results.items()}
+    print(f"\ncompleted flows: {completed}")
+    scale = 0.1
+    red = long_flow_median_reduction(results, round(1_000_000 * scale))
+    for cc, pct in red.items():
+        print(f"FNCC median slowdown reduction vs {cc} (flows > 1MB-equivalent): {pct:.1f}%")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,71 @@
+"""CLI entry point: ``fncc-exp <figure> [options]`` regenerates one paper
+figure's data; ``--list`` shows the catalogue."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments.common import quick_dumbbell  # noqa: F401 (re-export)
+
+
+def _experiments() -> Dict[str, Callable[[], None]]:
+    # Imported lazily so `import repro` stays fast.
+    from repro.experiments import (
+        ablations,
+        fig1_hw_trends,
+        fig1_queue_motivation,
+        fig3_pause_frames,
+        fig9_microbench,
+        fig13_congestion_location,
+        fig13_fairness,
+        fig14_websearch,
+        fig15_hadoop,
+        headline,
+        paper_scale,
+        related_work,
+        theory,
+    )
+
+    return {
+        "fig1a": fig1_hw_trends.main,
+        "fig1": fig1_queue_motivation.main,
+        "fig3": fig3_pause_frames.main,
+        "fig9": fig9_microbench.main,
+        "fig13": fig13_congestion_location.main,
+        "fig13e": fig13_fairness.main,
+        "fig14": fig14_websearch.main,
+        "fig15": fig15_hadoop.main,
+        "headline": headline.main,
+        "ablations": ablations.main,
+        "theory": theory.main,
+        "related-work": related_work.main,
+        "paper-scale": paper_scale.main,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fncc-exp",
+        description="Regenerate the FNCC paper's figures on the simulator.",
+    )
+    parser.add_argument("experiment", nargs="?", help="figure id (see --list)")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    args = parser.parse_args(argv)
+
+    table = _experiments()
+    if args.list or not args.experiment:
+        for name in table:
+            print(name)
+        return 0
+    fn = table.get(args.experiment)
+    if fn is None:
+        print(f"unknown experiment {args.experiment!r}; use --list", file=sys.stderr)
+        return 2
+    fn()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

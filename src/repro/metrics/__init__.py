@@ -1,0 +1,31 @@
+"""Measurement layer: samplers for queue/rate/utilization time series,
+pause-frame accounting, and FCT-slowdown collection.
+
+Everything samples on coarse timers or completion events — never per
+packet — so measurement does not distort the hot path (per the HPC guides'
+"profile realistic runs" advice).  Post-processing (percentiles, binning)
+is vectorized NumPy.
+"""
+
+from repro.metrics.series import TimeSeries
+from repro.metrics.monitors import (
+    QueueSampler,
+    RateSampler,
+    UtilizationSampler,
+    pause_frame_count,
+)
+from repro.metrics.ideal import ideal_fct_ps
+from repro.metrics.fct import FctCollector, SlowdownTable, SIZE_BINS_WEBSEARCH, SIZE_BINS_HADOOP
+
+__all__ = [
+    "TimeSeries",
+    "QueueSampler",
+    "RateSampler",
+    "UtilizationSampler",
+    "pause_frame_count",
+    "ideal_fct_ps",
+    "FctCollector",
+    "SlowdownTable",
+    "SIZE_BINS_WEBSEARCH",
+    "SIZE_BINS_HADOOP",
+]

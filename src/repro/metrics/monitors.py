@@ -1,0 +1,87 @@
+"""Periodic samplers for the quantities the paper plots.
+
+* :class:`QueueSampler` — egress queue length of one port (Figs. 1b-d, 9, 13).
+* :class:`RateSampler` — a sender QP's pacing rate in Gb/s (Figs. 9b/d/f, 13d/e).
+* :class:`UtilizationSampler` — bytes actually transmitted on a port per
+  interval over capacity (Figs. 9g-h, 13a-c).
+* :func:`pause_frame_count` — PAUSE frames emitted by a switch (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.metrics.series import TimeSeries
+from repro.sim.timer import Periodic
+from repro.units import serialization_ps, us
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.port import Port
+    from repro.net.switch import Switch
+    from repro.sim.engine import Simulator
+    from repro.transport.sender import SenderQP
+
+
+class QueueSampler:
+    """Samples one egress queue's backlog (bytes) every ``interval_ps``."""
+
+    def __init__(self, sim: "Simulator", port: "Port", interval_ps: int = us(1)) -> None:
+        self.port = port
+        self.series = TimeSeries(f"qlen:{port.node.name}.{port.index}")
+        self._periodic = Periodic(sim, interval_ps, self._sample)
+        self._periodic.start(offset=0)
+
+    def _sample(self, now: int) -> None:
+        self.series.append(now, float(self.port.qbytes_total))
+
+    def stop(self) -> None:
+        self._periodic.stop()
+
+
+class RateSampler:
+    """Samples a sender QP's current pacing rate (Gb/s)."""
+
+    def __init__(self, sim: "Simulator", qp: "SenderQP", interval_ps: int = us(1)) -> None:
+        self.qp = qp
+        self.series = TimeSeries(f"rate:flow{qp.flow.flow_id}")
+        self._periodic = Periodic(sim, interval_ps, self._sample)
+        self._periodic.start(offset=0)
+
+    def _sample(self, now: int) -> None:
+        qp = self.qp
+        if qp.finished or now < qp.start_ps:
+            rate = 0.0
+        else:
+            rate = min(qp.rate_gbps, qp.line_rate_gbps)
+        self.series.append(now, rate)
+
+    def stop(self) -> None:
+        self._periodic.stop()
+
+
+class UtilizationSampler:
+    """Fraction of a port's capacity used per interval (achieved goodput of
+    the link, the paper's 'utilization')."""
+
+    def __init__(self, sim: "Simulator", port: "Port", interval_ps: int = us(5)) -> None:
+        self.port = port
+        self.interval_ps = interval_ps
+        self.series = TimeSeries(f"util:{port.node.name}.{port.index}")
+        self._last_tx_bytes = port.tx_bytes
+        self._periodic = Periodic(sim, interval_ps, self._sample)
+        self._periodic.start()
+
+    def _sample(self, now: int) -> None:
+        tx = self.port.tx_bytes
+        delta = tx - self._last_tx_bytes
+        self._last_tx_bytes = tx
+        capacity_time = serialization_ps(delta, self.port.rate_gbps)
+        self.series.append(now, min(1.0, capacity_time / self.interval_ps))
+
+    def stop(self) -> None:
+        self._periodic.stop()
+
+
+def pause_frame_count(switches: Iterable["Switch"]) -> int:
+    """Total PAUSE frames emitted by the given switches (Fig. 3's metric)."""
+    return sum(sw.total_pause_frames() for sw in switches)

@@ -1,0 +1,73 @@
+"""A small (time, value) series container with NumPy export."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+class TimeSeries:
+    """Append-only time series; values are floats, times are picoseconds."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: List[int] = []
+        self.values: List[float] = []
+
+    def append(self, t_ps: int, value: float) -> None:
+        self.times.append(t_ps)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times, dtype=np.int64), np.asarray(
+            self.values, dtype=np.float64
+        )
+
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else 0.0
+
+    def mean_after(self, t_ps: int) -> float:
+        """Mean of samples at or after ``t_ps`` (skip warm-up transients)."""
+        vals = [v for t, v in zip(self.times, self.values) if t >= t_ps]
+        return float(np.mean(vals)) if vals else 0.0
+
+    def max_after(self, t_ps: int) -> float:
+        vals = [v for t, v in zip(self.times, self.values) if t >= t_ps]
+        return max(vals) if vals else 0.0
+
+    def max_between(self, t0_ps: int, t1_ps: int) -> float:
+        """Largest sample in the window [t0, t1]."""
+        vals = [v for t, v in zip(self.times, self.values) if t0_ps <= t <= t1_ps]
+        return max(vals) if vals else 0.0
+
+    def value_at(self, t_ps: int) -> float:
+        """Last sample at or before ``t_ps`` (step interpolation)."""
+        best = 0.0
+        for t, v in zip(self.times, self.values):
+            if t > t_ps:
+                break
+            best = v
+        return best
+
+    def first_time_below(self, threshold: float, after_ps: int = 0) -> int:
+        """First sample time >= ``after_ps`` whose value is < ``threshold``;
+        -1 if never."""
+        for t, v in zip(self.times, self.values):
+            if t >= after_ps and v < threshold:
+                return t
+        return -1
+
+    def first_time_above(self, threshold: float, after_ps: int = 0) -> int:
+        for t, v in zip(self.times, self.values):
+            if t >= after_ps and v > threshold:
+                return t
+        return -1

@@ -1,0 +1,243 @@
+"""Full-duplex port with an egress queue engine.
+
+A :class:`Port` is one end of a wire.  Its egress side owns per-priority
+FIFO queues, the PFC pause state for each priority, RED/ECN marking, and the
+cumulative ``tx_bytes`` counter that INT exposes.  Its ingress side simply
+forwards delivered packets to the owning node.
+
+Store-and-forward timing: a packet occupying the head of the queue holds the
+transmitter for ``serialization_ps(size, rate)``, then arrives at the peer
+``prop_delay_ps`` later.  PFC pause takes effect at frame boundaries (the
+in-flight frame always completes), per IEEE 802.1Qbb.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.net.packet import DATA, Packet
+from repro.units import serialization_ps
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+    from repro.sim.engine import Simulator
+
+
+class EcnConfig:
+    """RED-style ECN marking thresholds (used by DCQCN's congestion point).
+
+    Marking probability rises linearly from 0 at ``kmin`` bytes to ``pmax``
+    at ``kmax`` bytes, and is 1 above ``kmax``.
+    """
+
+    __slots__ = ("kmin", "kmax", "pmax")
+
+    def __init__(self, kmin: int, kmax: int, pmax: float) -> None:
+        if not (0 <= kmin <= kmax):
+            raise ValueError(f"need 0 <= kmin <= kmax, got {kmin}, {kmax}")
+        if not (0.0 <= pmax <= 1.0):
+            raise ValueError(f"pmax must be in [0,1], got {pmax}")
+        self.kmin = kmin
+        self.kmax = kmax
+        self.pmax = pmax
+
+    def mark_probability(self, qlen_bytes: int) -> float:
+        if qlen_bytes <= self.kmin:
+            return 0.0
+        if qlen_bytes >= self.kmax:
+            return 1.0
+        if self.kmax == self.kmin:
+            return 1.0
+        return self.pmax * (qlen_bytes - self.kmin) / (self.kmax - self.kmin)
+
+
+class PortStats:
+    """Per-port counters surfaced to the metrics layer."""
+
+    __slots__ = (
+        "tx_packets",
+        "tx_bytes",
+        "rx_packets",
+        "rx_bytes",
+        "pause_sent",
+        "resume_sent",
+        "pause_received",
+        "drops",
+        "ecn_marked",
+        "max_qlen",
+    )
+
+    def __init__(self) -> None:
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.rx_packets = 0
+        self.rx_bytes = 0
+        self.pause_sent = 0
+        self.resume_sent = 0
+        self.pause_received = 0
+        self.drops = 0
+        self.ecn_marked = 0
+        self.max_qlen = 0
+
+
+class Port:
+    """One end of a full-duplex link, owned by a :class:`~repro.net.node.Node`."""
+
+    __slots__ = (
+        "sim",
+        "node",
+        "index",
+        "rate_gbps",
+        "prop_delay_ps",
+        "peer",
+        "n_prio",
+        "queues",
+        "qbytes",
+        "qbytes_total",
+        "ctrl",
+        "busy",
+        "paused",
+        "tx_bytes",
+        "stats",
+        "ecn",
+        "ecn_rng",
+    )
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "Node",
+        index: int,
+        rate_gbps: float,
+        prop_delay_ps: int,
+        n_prio: int = 1,
+    ) -> None:
+        if rate_gbps <= 0:
+            raise ValueError("rate must be positive")
+        if prop_delay_ps < 0:
+            raise ValueError("propagation delay must be non-negative")
+        if n_prio < 1:
+            raise ValueError("need at least one priority")
+        self.sim = sim
+        self.node = node
+        self.index = index
+        self.rate_gbps = rate_gbps
+        self.prop_delay_ps = prop_delay_ps
+        self.peer: Optional["Port"] = None
+        self.n_prio = n_prio
+        self.queues: List[deque] = [deque() for _ in range(n_prio)]
+        self.qbytes: List[int] = [0] * n_prio
+        self.qbytes_total = 0
+        self.ctrl: deque = deque()  # PFC frames bypass data queues
+        self.busy = False
+        self.paused: List[bool] = [False] * n_prio
+        self.tx_bytes = 0  # cumulative, exposed via INT
+        self.stats = PortStats()
+        self.ecn: Optional[EcnConfig] = None
+        self.ecn_rng: Optional[random.Random] = None
+
+    # -- configuration --------------------------------------------------------
+    def set_ecn(self, cfg: Optional[EcnConfig], rng: Optional[random.Random]) -> None:
+        if cfg is not None and rng is None:
+            raise ValueError("ECN marking needs an RNG stream")
+        self.ecn = cfg
+        self.ecn_rng = rng
+
+    # -- egress ----------------------------------------------------------------
+    def enqueue(self, pkt: Packet) -> None:
+        """Queue a frame for transmission (control frames jump the queue)."""
+        if self.peer is None:
+            raise RuntimeError(f"port {self!r} is not wired")
+        if pkt.is_control():
+            self.ctrl.append(pkt)
+        else:
+            ecn = self.ecn
+            if ecn is not None and pkt.kind == DATA and not pkt.ecn:
+                p = ecn.mark_probability(self.qbytes_total)
+                if p > 0.0 and (p >= 1.0 or self.ecn_rng.random() < p):
+                    pkt.ecn = True
+                    self.stats.ecn_marked += 1
+            prio = pkt.priority
+            self.queues[prio].append(pkt)
+            self.qbytes[prio] += pkt.size
+            self.qbytes_total += pkt.size
+            if self.qbytes_total > self.stats.max_qlen:
+                self.stats.max_qlen = self.qbytes_total
+        if not self.busy:
+            self._kick()
+
+    def pause(self, prio: int) -> None:
+        """PFC XOFF for one priority (in-flight frame completes)."""
+        self.paused[prio] = True
+
+    def resume(self, prio: int) -> None:
+        """PFC XON; restart the transmitter if it was starved."""
+        self.paused[prio] = False
+        if not self.busy:
+            self._kick()
+
+    def _select(self) -> Optional[Packet]:
+        """Strict priority: control first, then lowest priority index."""
+        if self.ctrl:
+            return self.ctrl.popleft()
+        for prio in range(self.n_prio):
+            if self.paused[prio]:
+                continue
+            q = self.queues[prio]
+            if q:
+                pkt = q.popleft()
+                self.qbytes[prio] -= pkt.size
+                self.qbytes_total -= pkt.size
+                return pkt
+        return None
+
+    def _kick(self) -> None:
+        pkt = self._select()
+        if pkt is None:
+            return
+        self.busy = True
+        self.sim.schedule(serialization_ps(pkt.size, self.rate_gbps), self._tx_done, pkt)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self.tx_bytes += pkt.size
+        self.stats.tx_packets += 1
+        self.stats.tx_bytes += pkt.size
+        # Node hook: INT stamping (switch), PFC ingress-counter release.
+        self.node.on_departure(pkt, self)
+        self.sim.schedule(self.prop_delay_ps, self.peer._deliver, pkt)
+        self.busy = False
+        self._kick()
+
+    # -- ingress ----------------------------------------------------------------
+    def _deliver(self, pkt: Packet) -> None:
+        self.stats.rx_packets += 1
+        self.stats.rx_bytes += pkt.size
+        pkt.in_port = self.index
+        self.node.receive(pkt, self.index)
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def queue_len_bytes(self) -> int:
+        """Current egress backlog in bytes (the Fig. 9 'queue length')."""
+        return self.qbytes_total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Port {self.node.name}.{self.index} {self.rate_gbps}G q={self.qbytes_total}B>"
+
+
+def connect(
+    sim: "Simulator",
+    a: "Node",
+    b: "Node",
+    rate_gbps: float,
+    prop_delay_ps: int,
+    n_prio: int = 1,
+) -> tuple:
+    """Wire two nodes with a full-duplex link; returns ``(port_a, port_b)``."""
+    pa = a.new_port(rate_gbps, prop_delay_ps, n_prio=n_prio)
+    pb = b.new_port(rate_gbps, prop_delay_ps, n_prio=n_prio)
+    pa.peer = pb
+    pb.peer = pa
+    return pa, pb

@@ -1,0 +1,249 @@
+"""Shared-buffer switch with PFC, ECN, and INT insertion.
+
+This is the Congestion Point of the paper.  Three INT modes:
+
+* ``IntMode.NONE`` — plain switch (DCQCN/RoCC/Timely need no INT).
+* ``IntMode.HPCC`` — append an INT record to every departing **data** packet
+  (HPCC's request-path telemetry; the receiver echoes it in the ACK).
+* ``IntMode.FNCC`` — Alg. 1: record each ACK's input port on ingress, and on
+  egress insert the All_INT_Table entry for that port, i.e. the telemetry of
+  the *request-direction* egress queue sharing the link the ACK arrived on.
+
+PFC follows 802.1Qbb: per-(ingress-port, priority) byte accounting against
+XOFF/XON thresholds; PAUSE/RESUME frames are control frames that bypass the
+data queues and pause state.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.net.node import Node
+from repro.net.packet import ACK, CNP, DATA, PAUSE, RESUME, INTRecord, Packet
+from repro.net.port import EcnConfig, Port
+from repro.units import DEFAULT_MTU, KB, MB, PAUSE_FRAME_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+#: Width of one INT record on the wire (Fig. 7: 4+24+20+16 bits == 64 bits).
+INT_RECORD_BYTES = 8
+
+
+class IntMode(enum.Enum):
+    NONE = 0
+    HPCC = 1
+    FNCC = 2
+
+
+class SwitchConfig:
+    """Static switch parameters.
+
+    ``pfc_xoff`` defaults to the paper's 500 KB threshold (§5.1); ``pfc_xon``
+    re-opens the upstream a couple of MTUs below XOFF to avoid flapping.
+    ``int_table_refresh_ps`` > 0 models the "updated periodically" wording of
+    §4.1 by snapshotting the All_INT_Table on a timer; 0 reads live state.
+    """
+
+    __slots__ = (
+        "buffer_bytes",
+        "pfc_enabled",
+        "pfc_xoff",
+        "pfc_xon",
+        "int_mode",
+        "ecn",
+        "latency_ps",
+        "int_table_refresh_ps",
+        "n_prio",
+    )
+
+    def __init__(
+        self,
+        buffer_bytes: int = 32 * MB,
+        pfc_enabled: bool = True,
+        pfc_xoff: int = 500 * KB,
+        pfc_xon: Optional[int] = None,
+        int_mode: IntMode = IntMode.NONE,
+        ecn: Optional[EcnConfig] = None,
+        latency_ps: int = 0,
+        int_table_refresh_ps: int = 0,
+        n_prio: int = 1,
+    ) -> None:
+        if buffer_bytes <= 0:
+            raise ValueError("buffer must be positive")
+        if pfc_xon is None:
+            pfc_xon = max(0, pfc_xoff - 2 * DEFAULT_MTU)
+        if pfc_xon > pfc_xoff:
+            raise ValueError("XON must not exceed XOFF")
+        self.buffer_bytes = buffer_bytes
+        self.pfc_enabled = pfc_enabled
+        self.pfc_xoff = pfc_xoff
+        self.pfc_xon = pfc_xon
+        self.int_mode = int_mode
+        self.ecn = ecn
+        self.latency_ps = latency_ps
+        self.int_table_refresh_ps = int_table_refresh_ps
+        self.n_prio = n_prio
+
+
+class Switch(Node):
+    """An output-queued shared-buffer switch.
+
+    Routing is pluggable: ``router(switch, pkt) -> out_port_index`` is
+    installed by :mod:`repro.routing`.
+    """
+
+    def __init__(self, sim: "Simulator", name: str, config: SwitchConfig) -> None:
+        super().__init__(sim, name)
+        self.config = config
+        self.router: Optional[Callable[["Switch", Packet], int]] = None
+        self.buffer_used = 0
+        self.drops = 0
+        # PFC state, keyed [in_port][prio].
+        self._pfc_bytes: List[List[int]] = []
+        self._pfc_paused_up: List[List[bool]] = []
+        # RoCC-style per-egress-port fair-rate controllers (installed by cc.rocc).
+        self.port_controllers: Dict[int, object] = {}
+        # Optional snapshot table (int_table_refresh_ps > 0).
+        self._int_snapshot: Optional[List[INTRecord]] = None
+        self._ecn_rng = None
+
+    # -- wiring ------------------------------------------------------------------
+    def new_port(self, rate_gbps: float, prop_delay_ps: int, n_prio: int = 1) -> Port:
+        port = super().new_port(rate_gbps, prop_delay_ps, n_prio=self.config.n_prio)
+        self._pfc_bytes.append([0] * self.config.n_prio)
+        self._pfc_paused_up.append([False] * self.config.n_prio)
+        if self.config.ecn is not None:
+            if self._ecn_rng is None:
+                raise RuntimeError(
+                    "ECN-enabled switch needs set_ecn_rng() before wiring ports"
+                )
+            port.set_ecn(self.config.ecn, self._ecn_rng)
+        return port
+
+    def set_ecn_rng(self, rng) -> None:
+        """Give the switch the RNG stream its RED markers draw from."""
+        self._ecn_rng = rng
+        for port in self.ports:
+            if self.config.ecn is not None:
+                port.set_ecn(self.config.ecn, rng)
+
+    def start(self) -> None:
+        """Arm periodic machinery (All_INT_Table refresh), if configured."""
+        if self.config.int_table_refresh_ps > 0:
+            from repro.sim.timer import Periodic
+
+            self._refresh_int_table(self.sim.now)
+            Periodic(
+                self.sim, self.config.int_table_refresh_ps, self._refresh_int_table
+            ).start()
+
+    # -- data path ------------------------------------------------------------------
+    def receive(self, pkt: Packet, in_port: int) -> None:
+        kind = pkt.kind
+        if kind == PAUSE:
+            self.ports[in_port].pause(pkt.pause_prio)
+            self.ports[in_port].stats.pause_received += 1
+            return
+        if kind == RESUME:
+            self.ports[in_port].resume(pkt.pause_prio)
+            return
+        # Alg. 1 line 3: the ACK's input port is recorded as metadata.  (The
+        # same metadata drives RoCC's fair-rate stamping, so record always.)
+        if kind == ACK:
+            pkt.fncc_in_port = in_port
+        pkt.hops += 1
+        if self.config.latency_ps > 0:
+            self.sim.schedule(self.config.latency_ps, self._forward, pkt)
+        else:
+            self._forward(pkt)
+
+    def _forward(self, pkt: Packet) -> None:
+        if self.router is None:
+            raise RuntimeError(f"switch {self.name} has no routing installed")
+        out_port = self.router(self, pkt)
+        if out_port == pkt.in_port:
+            raise RuntimeError(
+                f"{self.name}: routing loop, {pkt!r} back out port {out_port}"
+            )
+        # Shared-buffer admission.
+        if self.buffer_used + pkt.size > self.config.buffer_bytes:
+            self.drops += 1
+            self.ports[pkt.in_port].stats.drops += 1
+            return
+        self.buffer_used += pkt.size
+        if self.config.pfc_enabled and not pkt.is_control():
+            self._pfc_admit(pkt)
+        self.ports[out_port].enqueue(pkt)
+
+    def on_departure(self, pkt: Packet, port: Port) -> None:
+        self.buffer_used -= pkt.size
+        if self.config.pfc_enabled and not pkt.is_control():
+            self._pfc_release(pkt)
+        mode = self.config.int_mode
+        if mode is IntMode.HPCC:
+            if pkt.kind == DATA:
+                pkt.add_int(
+                    INTRecord(port.rate_gbps, self.sim.now, port.tx_bytes, port.qbytes_total)
+                )
+                pkt.size += INT_RECORD_BYTES
+        elif mode is IntMode.FNCC:
+            if pkt.kind == ACK:
+                pkt.add_int(self._int_table_entry(pkt.fncc_in_port))
+                pkt.size += INT_RECORD_BYTES
+        if self.port_controllers and pkt.kind == ACK and pkt.fncc_in_port >= 0:
+            ctrl = self.port_controllers.get(pkt.fncc_in_port)
+            if ctrl is not None:
+                rate = ctrl.fair_rate_gbps
+                if pkt.rocc_rate_gbps is None or rate < pkt.rocc_rate_gbps:
+                    pkt.rocc_rate_gbps = rate
+
+    # -- All_INT_Table (Fig. 8) --------------------------------------------------
+    def _int_table_entry(self, port_idx: int) -> INTRecord:
+        """INT of the request-direction egress queue indexed by the ACK's
+        input port (Alg. 1 line 8)."""
+        if self._int_snapshot is not None:
+            return self._int_snapshot[port_idx].copy()
+        p = self.ports[port_idx]
+        return INTRecord(p.rate_gbps, self.sim.now, p.tx_bytes, p.qbytes_total)
+
+    def _refresh_int_table(self, _now: int) -> None:
+        self._int_snapshot = [
+            INTRecord(p.rate_gbps, self.sim.now, p.tx_bytes, p.qbytes_total)
+            for p in self.ports
+        ]
+
+    # -- PFC ------------------------------------------------------------------------
+    def _pfc_admit(self, pkt: Packet) -> None:
+        in_port, prio = pkt.in_port, pkt.priority
+        counters = self._pfc_bytes[in_port]
+        counters[prio] += pkt.size
+        if counters[prio] >= self.config.pfc_xoff and not self._pfc_paused_up[in_port][prio]:
+            self._pfc_paused_up[in_port][prio] = True
+            self._send_pfc(in_port, prio, PAUSE)
+
+    def _pfc_release(self, pkt: Packet) -> None:
+        in_port, prio = pkt.in_port, pkt.priority
+        counters = self._pfc_bytes[in_port]
+        counters[prio] -= pkt.size
+        if counters[prio] <= self.config.pfc_xon and self._pfc_paused_up[in_port][prio]:
+            self._pfc_paused_up[in_port][prio] = False
+            self._send_pfc(in_port, prio, RESUME)
+
+    def _send_pfc(self, port_idx: int, prio: int, kind: int) -> None:
+        frame = Packet(kind, size=PAUSE_FRAME_SIZE)
+        frame.pause_prio = prio
+        port = self.ports[port_idx]
+        if kind == PAUSE:
+            port.stats.pause_sent += 1
+        else:
+            port.stats.resume_sent += 1
+        port.enqueue(frame)
+
+    # -- introspection ------------------------------------------------------------
+    def egress_queue_bytes(self, port_idx: int) -> int:
+        return self.ports[port_idx].qbytes_total
+
+    def total_pause_frames(self) -> int:
+        return sum(p.stats.pause_sent for p in self.ports)

@@ -1,0 +1,54 @@
+"""ECMP with the paper's symmetric routing tables (Fig. 5).
+
+The hash input is the canonical five-tuple ``(min(src,dst), max(src,dst),
+flow_id)``: a data packet and its ACK produce the same hash, and with
+consistently ordered next-hop lists (see :mod:`repro.routing.tables`) the
+two directions select the same physical path.  ``symmetric=False`` hashes
+the directed tuple instead, reproducing the asymmetry problem FNCC's
+Observation 2 warns about (used by the ablation bench).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.routing.tables import RoutingTables, build_graph_tables
+from repro.sim.rng import stable_hash64
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
+    from repro.net.switch import Switch
+    from repro.topo.base import Topology
+
+
+def install_ecmp(
+    topo: "Topology", symmetric: bool = True, salt: int = 0
+) -> RoutingTables:
+    """Compute tables and attach an ECMP router to every switch."""
+    rt = build_graph_tables(topo)
+    tables = rt.tables
+
+    if symmetric:
+
+        def router(sw: "Switch", pkt: "Packet") -> int:
+            ports = tables[sw.name][pkt.dst]
+            n = len(ports)
+            if n == 1:
+                return ports[0]
+            a, b = pkt.src, pkt.dst
+            if a > b:
+                a, b = b, a
+            return ports[stable_hash64(a, b, pkt.flow_id, salt) % n]
+
+    else:
+
+        def router(sw: "Switch", pkt: "Packet") -> int:
+            ports = tables[sw.name][pkt.dst]
+            n = len(ports)
+            if n == 1:
+                return ports[0]
+            return ports[stable_hash64(pkt.src, pkt.dst, pkt.flow_id, salt) % n]
+
+    for sw in topo.switches:
+        sw.router = router
+    return rt

@@ -1,0 +1,155 @@
+"""The discrete-event engine.
+
+Design notes
+------------
+* Time is an integer picosecond count (see :mod:`repro.units`).  Integer
+  timestamps make the event order total and deterministic: ties are broken
+  by insertion sequence number.
+* Events are plain tuples ``(time, seq, event)`` in a ``heapq``; ``event``
+  is a small :class:`Event` carrying the callback.  Cancellation marks the
+  event dead instead of removing it from the heap (lazy deletion), which is
+  both simpler and faster for the cancel-rarely workloads of a network sim.
+* Callbacks receive a single ``arg`` payload.  We intentionally do not
+  support ``*args``: one tuple allocation per event is the hot-path budget.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduling requests or a corrupted event queue."""
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
+
+    The only public operation is :meth:`cancel`; everything else is owned by
+    the engine.
+    """
+
+    __slots__ = ("time", "fn", "arg", "alive")
+
+    def __init__(self, time: int, fn: Callable[[Any], None], arg: Any) -> None:
+        self.time = time
+        self.fn = fn
+        self.arg = arg
+        self.alive = True
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Safe to call repeatedly."""
+        self.alive = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "cancelled"
+        return f"<Event t={self.time} {getattr(self.fn, '__qualname__', self.fn)} {state}>"
+
+
+class Simulator:
+    """A single-threaded discrete-event simulator with integer time.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(units.us(5), my_callback, payload)
+        sim.run(until=units.ms(1))
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_running", "_stopped", "events_dispatched")
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list = []
+        self._seq: int = 0
+        self._running: bool = False
+        self._stopped: bool = False
+        self.events_dispatched: int = 0
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule(self, delay: int, fn: Callable[[Any], None], arg: Any = None) -> Event:
+        """Schedule ``fn(arg)`` to run ``delay`` picoseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, arg)
+
+    def schedule_at(self, time: int, fn: Callable[[Any], None], arg: Any = None) -> Event:
+        """Schedule ``fn(arg)`` at absolute time ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now}"
+            )
+        ev = Event(time, fn, arg)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, ev))
+        return ev
+
+    # -- execution ----------------------------------------------------------
+    def run(self, until: Optional[int] = None) -> int:
+        """Dispatch events in time order.
+
+        Runs until the queue drains, :meth:`stop` is called, or the clock
+        would pass ``until`` (events at exactly ``until`` *do* run).  Returns
+        the number of events dispatched by this call.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        dispatched = 0
+        heap = self._heap
+        pop = heapq.heappop
+        try:
+            while heap and not self._stopped:
+                time, _, ev = heap[0]
+                if until is not None and time > until:
+                    break
+                pop(heap)
+                if not ev.alive:
+                    continue
+                self.now = time
+                ev.fn(ev.arg)
+                dispatched += 1
+        finally:
+            self._running = False
+        if until is not None and self.now < until and not self._stopped:
+            # Advance the clock to the horizon even if the queue drained,
+            # so back-to-back run(until=...) calls observe monotonic time.
+            self.now = until
+        self.events_dispatched += dispatched
+        return dispatched
+
+    def step(self) -> bool:
+        """Dispatch the single next live event.  Returns False if none left."""
+        heap = self._heap
+        while heap:
+            time, _, ev = heapq.heappop(heap)
+            if not ev.alive:
+                continue
+            self.now = time
+            ev.fn(ev.arg)
+            self.events_dispatched += 1
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current callback returns."""
+        self._stopped = True
+
+    def peek(self) -> Optional[int]:
+        """Time of the next live event, or None if the queue is empty."""
+        heap = self._heap
+        while heap:
+            time, _, ev = heap[0]
+            if ev.alive:
+                return time
+            heapq.heappop(heap)
+        return None
+
+    def queue_len(self) -> int:
+        """Number of events in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self.now}ps queued={len(self._heap)}>"

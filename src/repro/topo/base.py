@@ -1,0 +1,165 @@
+"""Topology container: nodes, wires, and path arithmetic.
+
+A :class:`Topology` owns the simulator's node population and mirrors the
+physical wiring into a :mod:`networkx` graph that the routing installers
+consume.  It also computes per-flow base RTTs (the ``T`` of Alg. 3) from
+store-and-forward first-packet latency in both directions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.net.host import Host
+from repro.net.port import connect
+from repro.net.switch import Switch, SwitchConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeedSequenceFactory
+from repro.transport.sender import TransportConfig
+from repro.units import ACK_SIZE, DEFAULT_MTU, serialization_ps, us
+
+
+class LinkSpec:
+    """Default physical parameters for new links (paper §5: 100 Gb/s links
+    with 1.5 µs propagation delay)."""
+
+    __slots__ = ("rate_gbps", "prop_delay_ps")
+
+    def __init__(self, rate_gbps: float = 100.0, prop_delay_ps: int = us(1.5)) -> None:
+        if rate_gbps <= 0:
+            raise ValueError("link rate must be positive")
+        self.rate_gbps = rate_gbps
+        self.prop_delay_ps = prop_delay_ps
+
+
+class Topology:
+    """Nodes + wiring + the graph view used for routing and RTT math."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        seeds: Optional[SeedSequenceFactory] = None,
+        default_link: Optional[LinkSpec] = None,
+        switch_config: Optional[SwitchConfig] = None,
+        transport_config: Optional[TransportConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.seeds = seeds or SeedSequenceFactory(1)
+        self.default_link = default_link or LinkSpec()
+        self.switch_config = switch_config or SwitchConfig()
+        self.transport_config = transport_config or TransportConfig()
+        self.hosts: List[Host] = []
+        self.switches: List[Switch] = []
+        self.graph = nx.Graph()
+        self._by_name: Dict[str, object] = {}
+
+    # -- construction ------------------------------------------------------------
+    def add_host(self, name: str, cnp_enabled: bool = False) -> Host:
+        if name in self._by_name:
+            raise ValueError(f"duplicate node name {name}")
+        host = Host(
+            self.sim,
+            name,
+            host_id=len(self.hosts),
+            transport=self.transport_config,
+            cnp_enabled=cnp_enabled,
+        )
+        self.hosts.append(host)
+        self._by_name[name] = host
+        self.graph.add_node(name, kind="host", host_id=host.host_id)
+        return host
+
+    def add_switch(self, name: str, config: Optional[SwitchConfig] = None) -> Switch:
+        if name in self._by_name:
+            raise ValueError(f"duplicate node name {name}")
+        sw = Switch(self.sim, name, config or self.switch_config)
+        if sw.config.ecn is not None:
+            sw.set_ecn_rng(self.seeds.stream(f"ecn.{name}"))
+        self.switches.append(sw)
+        self._by_name[name] = sw
+        self.graph.add_node(name, kind="switch")
+        return sw
+
+    def link(
+        self,
+        a,
+        b,
+        rate_gbps: Optional[float] = None,
+        prop_delay_ps: Optional[int] = None,
+    ) -> Tuple:
+        """Wire ``a`` and ``b`` (nodes or names) with a full-duplex link."""
+        node_a = self._by_name[a] if isinstance(a, str) else a
+        node_b = self._by_name[b] if isinstance(b, str) else b
+        rate = rate_gbps if rate_gbps is not None else self.default_link.rate_gbps
+        delay = (
+            prop_delay_ps
+            if prop_delay_ps is not None
+            else self.default_link.prop_delay_ps
+        )
+        pa, pb = connect(self.sim, node_a, node_b, rate, delay)
+        self.graph.add_edge(
+            node_a.name,
+            node_b.name,
+            ports={node_a.name: pa.index, node_b.name: pb.index},
+            rate_gbps=rate,
+            prop_delay_ps=delay,
+        )
+        return pa, pb
+
+    def node(self, name: str):
+        return self._by_name[name]
+
+    def host_by_id(self, host_id: int) -> Host:
+        return self.hosts[host_id]
+
+    def start(self) -> None:
+        """Arm periodic switch machinery (INT table refresh, etc.)."""
+        for sw in self.switches:
+            sw.start()
+
+    # -- path arithmetic ----------------------------------------------------------
+    def path_names(self, src_host_id: int, dst_host_id: int) -> List[str]:
+        """One shortest path (node names), deterministic tie-break."""
+        src = self.hosts[src_host_id].name
+        dst = self.hosts[dst_host_id].name
+        return min(
+            nx.all_shortest_paths(self.graph, src, dst), key=lambda p: tuple(p)
+        )
+
+    def path_links(
+        self, src_host_id: int, dst_host_id: int
+    ) -> List[Tuple[float, int]]:
+        """``(rate_gbps, prop_delay_ps)`` per link along one shortest path."""
+        names = self.path_names(src_host_id, dst_host_id)
+        links = []
+        for u, v in zip(names, names[1:]):
+            e = self.graph.edges[u, v]
+            links.append((e["rate_gbps"], e["prop_delay_ps"]))
+        return links
+
+    def base_rtt_ps(
+        self,
+        src_host_id: int,
+        dst_host_id: int,
+        mtu: int = DEFAULT_MTU,
+        ack_size: int = ACK_SIZE,
+    ) -> int:
+        """Unloaded RTT: store-and-forward MTU frame out, ACK back.
+
+        This is the ``RTT`` of Eq. 4 and the ``T`` of Alg. 3.
+        """
+        links = self.path_links(src_host_id, dst_host_id)
+        fwd = sum(serialization_ps(mtu, r) + d for r, d in links)
+        back = sum(serialization_ps(ack_size, r) + d for r, d in links)
+        return fwd + back
+
+    def bottleneck_gbps(self, src_host_id: int, dst_host_id: int) -> float:
+        return min(r for r, _ in self.path_links(src_host_id, dst_host_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Topology hosts={len(self.hosts)} switches={len(self.switches)} "
+            f"links={self.graph.number_of_edges()}>"
+        )

@@ -1,0 +1,43 @@
+"""Single-switch star — the simplest last-hop-congestion (incast) fabric.
+
+Also an example of a topology that "inherently lacks path diversity"
+(Observation 2): the data/ACK path is trivially symmetric.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.switch import SwitchConfig
+from repro.routing import install_ecmp
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeedSequenceFactory
+from repro.topo.base import LinkSpec, Topology
+from repro.transport.sender import TransportConfig
+
+
+def star(
+    sim: Simulator,
+    n_hosts: int,
+    link: Optional[LinkSpec] = None,
+    switch_config: Optional[SwitchConfig] = None,
+    transport_config: Optional[TransportConfig] = None,
+    seeds: Optional[SeedSequenceFactory] = None,
+    cnp_enabled: bool = False,
+) -> Topology:
+    if n_hosts < 2:
+        raise ValueError("a star needs at least two hosts")
+    topo = Topology(
+        sim,
+        seeds=seeds,
+        default_link=link,
+        switch_config=switch_config,
+        transport_config=transport_config,
+    )
+    sw = topo.add_switch("sw0")
+    for i in range(n_hosts):
+        host = topo.add_host(f"h{i}", cnp_enabled=cnp_enabled)
+        topo.link(host, sw)
+    install_ecmp(topo)
+    topo.start()
+    return topo

@@ -1,0 +1,37 @@
+"""Workload generation.
+
+* :mod:`repro.traffic.cdf` — piecewise-linear flow-size CDF sampler.
+* :mod:`repro.traffic.distributions` — the WebSearch (DCTCP) and FB_Hadoop
+  flow-size distributions the paper evaluates with (§5.5), plus the Fig. 1a
+  hardware-trend dataset.
+* :mod:`repro.traffic.generator` — Poisson open-loop load generation at a
+  target average link load, plus permutation and incast patterns.
+"""
+
+from repro.traffic.cdf import PiecewiseCdf
+from repro.traffic.distributions import (
+    WEBSEARCH_CDF,
+    FB_HADOOP_CDF,
+    websearch_cdf,
+    fb_hadoop_cdf,
+    NVIDIA_SWITCH_TRENDS,
+)
+from repro.traffic.generator import (
+    PoissonWorkload,
+    permutation_flows,
+    incast_flows,
+    staggered_elephants,
+)
+
+__all__ = [
+    "PiecewiseCdf",
+    "WEBSEARCH_CDF",
+    "FB_HADOOP_CDF",
+    "websearch_cdf",
+    "fb_hadoop_cdf",
+    "NVIDIA_SWITCH_TRENDS",
+    "PoissonWorkload",
+    "permutation_flows",
+    "incast_flows",
+    "staggered_elephants",
+]

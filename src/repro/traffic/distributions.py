@@ -1,0 +1,84 @@
+"""The paper's traffic distributions and the Fig. 1a hardware dataset.
+
+* ``WEBSEARCH_CDF`` — the DCTCP web-search flow-size distribution, as
+  published with HPCC's public simulator.  Its breakpoints are exactly the
+  x-axis bins of Fig. 14 (10KB ... 30MB), confirming it is the paper's
+  WebSearch workload.
+* ``FB_HADOOP_CDF`` — the Facebook Hadoop distribution (Roy et al.,
+  SIGCOMM'15).  The raw trace is proprietary; this reconstruction matches
+  Fig. 15's x-axis bins (75B ... 1MB) and the published shape (most flows
+  under a few KB, a thin tail to ~1MB).  Documented substitution in
+  DESIGN.md.
+* ``NVIDIA_SWITCH_TRENDS`` — Fig. 1a's buffer-vs-capacity points for the
+  Spectrum generations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.traffic.cdf import PiecewiseCdf
+from repro.units import KB, MB
+
+#: (size_bytes, cumulative probability) — DCTCP WebSearch.
+WEBSEARCH_CDF: List[Tuple[float, float]] = [
+    (6 * KB, 0.00),
+    (10 * KB, 0.15),
+    (20 * KB, 0.20),
+    (30 * KB, 0.30),
+    (50 * KB, 0.40),
+    (80 * KB, 0.53),
+    (200 * KB, 0.60),
+    (1 * MB, 0.70),
+    (2 * MB, 0.80),
+    (5 * MB, 0.90),
+    (10 * MB, 0.97),
+    (30 * MB, 1.00),
+]
+
+#: (size_bytes, cumulative probability) — Facebook Hadoop reconstruction.
+FB_HADOOP_CDF: List[Tuple[float, float]] = [
+    (70, 0.00),
+    (75, 0.05),
+    (250, 0.20),
+    (350, 0.35),
+    (1 * KB, 0.52),
+    (2 * KB, 0.65),
+    (6 * KB, 0.75),
+    (10 * KB, 0.82),
+    (15 * KB, 0.87),
+    (23 * KB, 0.90),
+    (24 * KB, 0.91),
+    (25 * KB, 0.92),
+    (100 * KB, 0.97),
+    (1 * MB, 1.00),
+]
+
+
+def websearch_cdf(scale: float = 1.0) -> PiecewiseCdf:
+    """The WebSearch flow-size distribution (optionally size-scaled)."""
+    return PiecewiseCdf(WEBSEARCH_CDF, scale=scale)
+
+
+def fb_hadoop_cdf(scale: float = 1.0) -> PiecewiseCdf:
+    """The FB_Hadoop flow-size distribution (optionally size-scaled)."""
+    return PiecewiseCdf(FB_HADOOP_CDF, scale=scale)
+
+
+#: Fig. 1a: NVIDIA Spectrum generations — switch capacity (Tb/s), shared
+#: buffer (MB), and the resulting buffer/capacity absorption time (µs).
+NVIDIA_SWITCH_TRENDS: Dict[str, Dict[str, float]] = {
+    "spectrum (2015.6)": {"capacity_tbps": 3.2, "buffer_mb": 16.8},
+    "spectrum-2 (2017.7)": {"capacity_tbps": 6.4, "buffer_mb": 42.0},
+    "spectrum-3 (2020.3)": {"capacity_tbps": 12.8, "buffer_mb": 64.0},
+    "spectrum-4 (2022.3)": {"capacity_tbps": 51.2, "buffer_mb": 160.0},
+}
+
+
+def buffer_per_capacity_us(capacity_tbps: float, buffer_mb: float) -> float:
+    """Burst-absorption time: how long the shared buffer can absorb the
+    switch's full capacity (Fig. 1a's y-axis, in microseconds)."""
+    if capacity_tbps <= 0 or buffer_mb <= 0:
+        raise ValueError("capacity and buffer must be positive")
+    bits = buffer_mb * 1e6 * 8
+    return bits / (capacity_tbps * 1e12) * 1e6

@@ -1,0 +1,16 @@
+"""RDMA-style reliable transport (QPs) on top of the lossless fabric.
+
+* :mod:`repro.transport.flow` — flow descriptors and lifecycle records.
+* :mod:`repro.transport.sender` — window-limited, paced sender QP
+  (Reaction Point).  Congestion control is pluggable via
+  :class:`repro.cc.base.CongestionControl`.
+* :mod:`repro.transport.receiver` — per-flow receiver context: cumulative
+  ACK generation (per-packet or every *m* packets), INT echo (HPCC mode),
+  the FNCC ``N`` field, and DCQCN's CNP notification point.
+"""
+
+from repro.transport.flow import Flow, FlowRecord
+from repro.transport.sender import SenderQP, TransportConfig
+from repro.transport.receiver import ReceiverQP
+
+__all__ = ["Flow", "FlowRecord", "SenderQP", "TransportConfig", "ReceiverQP"]

@@ -1,0 +1,123 @@
+"""The receiver context — ACK Generation Point (§3.2.3) and DCQCN NP.
+
+One :class:`ReceiverQP` exists per inbound flow.  It generates cumulative
+ACKs (per packet, or one per ``m`` packets — the paper's cumulative-ACK
+scheme), echoes the INT stack for HPCC, writes the concurrent-flow count
+``N`` for FNCC, and runs DCQCN's notification-point CNP pacing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.packet import ACK, CNP, Packet
+from repro.net.switch import INT_RECORD_BYTES
+from repro.units import ACK_SIZE, CNP_SIZE, us
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+    from repro.transport.flow import Flow
+
+#: DCQCN NP: at most one CNP per flow per this interval (Zhu et al., §4).
+DEFAULT_CNP_INTERVAL_PS = us(50)
+
+
+class ReceiverQP:
+    """Per-flow receive state at the destination host."""
+
+    __slots__ = (
+        "host",
+        "flow",
+        "rcv_nxt",
+        "ack_every",
+        "_unacked_pkts",
+        "completed",
+        "finish_ps",
+        "cnp_enabled",
+        "cnp_interval_ps",
+        "_last_cnp_ps",
+        "data_packets",
+        "dup_acks_sent",
+    )
+
+    def __init__(
+        self,
+        host: "Host",
+        flow: "Flow",
+        ack_every: int = 1,
+        cnp_enabled: bool = False,
+        cnp_interval_ps: int = DEFAULT_CNP_INTERVAL_PS,
+    ) -> None:
+        self.host = host
+        self.flow = flow
+        self.rcv_nxt = 0
+        self.ack_every = ack_every
+        self._unacked_pkts = 0
+        self.completed = False
+        self.finish_ps: Optional[int] = None
+        self.cnp_enabled = cnp_enabled
+        self.cnp_interval_ps = cnp_interval_ps
+        self._last_cnp_ps = -(1 << 62)
+        self.data_packets = 0
+        self.dup_acks_sent = 0
+
+    def on_data(self, pkt: Packet) -> None:
+        self.data_packets += 1
+        if self.cnp_enabled and pkt.ecn:
+            self._maybe_send_cnp()
+        if pkt.seq != self.rcv_nxt:
+            # Out of order (possible only after a drop): duplicate cumulative
+            # ACK so go-back-N recovery can kick in.
+            self.dup_acks_sent += 1
+            self._send_ack(pkt, force=True)
+            return
+        self.rcv_nxt += pkt.payload
+        done = pkt.last
+        if done and not self.completed:
+            self.completed = True
+            self.finish_ps = self.host.sim.now
+            self.host.on_flow_received(self)
+        self._unacked_pkts += 1
+        if done or self._unacked_pkts >= self.ack_every:
+            self._send_ack(pkt)
+
+    # -- ACK construction ----------------------------------------------------------
+    def _send_ack(self, data_pkt: Packet, force: bool = False) -> None:
+        if not force:
+            self._unacked_pkts = 0
+        ack = Packet(
+            ACK,
+            flow_id=self.flow.flow_id,
+            src=self.flow.dst,  # reverse direction
+            dst=self.flow.src,
+            seq=self.rcv_nxt,
+            size=ACK_SIZE,
+            payload=0,
+            priority=self.flow.priority,
+        )
+        ack.last = self.completed
+        ack.ecn_echo = data_pkt.ecn
+        ack.echo_sent_ts = data_pkt.sent_ts
+        # HPCC: the receiver copies the request path's INT stack into the ACK.
+        if data_pkt.int_records:
+            ack.int_records = data_pkt.int_records
+            ack.size += INT_RECORD_BYTES * len(data_pkt.int_records)
+        # FNCC §3.2.3: N = number of concurrent inbound flows (QP connections).
+        ack.n_flows = self.host.active_inbound_flows()
+        self.host.transmit(ack)
+
+    # -- DCQCN notification point -----------------------------------------------------
+    def _maybe_send_cnp(self) -> None:
+        now = self.host.sim.now
+        if now - self._last_cnp_ps < self.cnp_interval_ps:
+            return
+        self._last_cnp_ps = now
+        cnp = Packet(
+            CNP,
+            flow_id=self.flow.flow_id,
+            src=self.flow.dst,
+            dst=self.flow.src,
+            size=CNP_SIZE,
+            priority=self.flow.priority,
+        )
+        self.host.transmit(cnp)

@@ -1,0 +1,230 @@
+"""The sender QP — the Reaction Point (RP) of the paper.
+
+The QP packetizes the message into MTU-sized frames, paces them at the CC
+module's rate ``R = W/T`` and (for window-based CCs) caps in-flight bytes at
+``W``.  Reliability is go-back-N: out-of-order arrivals trigger duplicate
+cumulative ACKs, and a retransmission timeout rolls ``snd_nxt`` back to
+``snd_una``.  On a PFC-lossless fabric the timeout should never fire; tests
+exercise it by disabling PFC and shrinking switch buffers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.net.packet import DATA, Packet
+from repro.sim.timer import Timer
+from repro.units import DEFAULT_MTU, serialization_ps
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cc.base import CongestionControl
+    from repro.net.host import Host
+    from repro.transport.flow import Flow
+
+#: Ethernet + IPv4 + UDP + IB BTH + iCRC + FCS overhead per frame.
+HEADER_BYTES = 48
+
+
+class TransportConfig:
+    """Knobs shared by every QP on a host."""
+
+    __slots__ = (
+        "mtu",
+        "header_bytes",
+        "ack_every",
+        "retx_timeout_ps",
+        "window_limited",
+    )
+
+    def __init__(
+        self,
+        mtu: int = DEFAULT_MTU,
+        header_bytes: int = HEADER_BYTES,
+        ack_every: int = 1,
+        retx_timeout_ps: int = 0,  # 0 = disabled (lossless fabric default)
+        window_limited: bool = True,
+    ) -> None:
+        if mtu <= header_bytes:
+            raise ValueError("MTU must exceed header size")
+        if ack_every < 1:
+            raise ValueError("ack_every must be >= 1")
+        self.mtu = mtu
+        self.header_bytes = header_bytes
+        self.ack_every = ack_every
+        self.retx_timeout_ps = retx_timeout_ps
+        self.window_limited = window_limited
+
+    @property
+    def max_payload(self) -> int:
+        return self.mtu - self.header_bytes
+
+
+class SenderQP:
+    """One flow's sending state machine."""
+
+    __slots__ = (
+        "sim",
+        "host",
+        "flow",
+        "cc",
+        "config",
+        "base_rtt_ps",
+        "line_rate_gbps",
+        "window",
+        "rate_gbps",
+        "snd_nxt",
+        "snd_una",
+        "next_tx_ps",
+        "finished",
+        "_pace_timer",
+        "_retx_timer",
+        "_pace_armed_for",
+        "on_complete",
+        "acks_received",
+        "timeouts",
+        "start_ps",
+    )
+
+    def __init__(
+        self,
+        host: "Host",
+        flow: "Flow",
+        cc: "CongestionControl",
+        config: TransportConfig,
+        base_rtt_ps: int,
+        line_rate_gbps: float,
+    ) -> None:
+        self.sim = host.sim
+        self.host = host
+        self.flow = flow
+        self.cc = cc
+        self.config = config
+        self.base_rtt_ps = base_rtt_ps
+        self.line_rate_gbps = line_rate_gbps
+        # CC-owned control variables; CC modules mutate these.
+        self.window: float = float(flow.size_bytes)
+        self.rate_gbps: float = line_rate_gbps
+        self.snd_nxt = 0
+        self.snd_una = 0
+        self.next_tx_ps = 0
+        self.finished = False
+        self._pace_timer = Timer(self.sim, self._pace_fire)
+        self._retx_timer = Timer(self.sim, self._retx_fire)
+        self._pace_armed_for: Optional[int] = None
+        self.on_complete: Optional[Callable[["SenderQP"], None]] = None
+        self.acks_received = 0
+        self.timeouts = 0
+        self.start_ps = flow.start_ps
+
+    # -- lifecycle -----------------------------------------------------------------
+    def start(self) -> None:
+        """Called by the host at the flow's start time."""
+        self.cc.on_flow_start(self)
+        if self.config.retx_timeout_ps > 0:
+            self._retx_timer.start(self.config.retx_timeout_ps)
+        self._maybe_send()
+
+    @property
+    def inflight(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def remaining(self) -> int:
+        return self.flow.size_bytes - self.snd_nxt
+
+    # -- transmit path ---------------------------------------------------------------
+    def _maybe_send(self) -> None:
+        """Emit as many frames as pacing + window currently allow."""
+        if self.finished:
+            return
+        while self.snd_nxt < self.flow.size_bytes:
+            if self.config.window_limited and self.inflight >= self.window:
+                self._pace_timer.cancel()
+                self._pace_armed_for = None
+                return  # ACK-clocked: on_ack re-enters
+            now = self.sim.now
+            if self.next_tx_ps > now:
+                if self._pace_armed_for != self.next_tx_ps:
+                    self._pace_timer.start(self.next_tx_ps - now)
+                    self._pace_armed_for = self.next_tx_ps
+                return
+            self._emit()
+
+    def _emit(self) -> None:
+        payload = min(self.config.max_payload, self.flow.size_bytes - self.snd_nxt)
+        pkt = Packet(
+            DATA,
+            flow_id=self.flow.flow_id,
+            src=self.flow.src,
+            dst=self.flow.dst,
+            seq=self.snd_nxt,
+            size=payload + self.config.header_bytes,
+            payload=payload,
+            priority=self.flow.priority,
+        )
+        pkt.sent_ts = self.sim.now
+        pkt.last = self.snd_nxt + payload >= self.flow.size_bytes
+        self.snd_nxt += payload
+        # Pace at R: the inter-frame gap is the frame's wire time at R.
+        rate = self.rate_gbps
+        if rate > 0:
+            gap = serialization_ps(pkt.size, rate)
+        else:  # fully throttled; retry in one base RTT
+            gap = self.base_rtt_ps
+        self.next_tx_ps = max(self.next_tx_ps, self.sim.now) + gap
+        self.host.transmit(pkt)
+
+    def _pace_fire(self, _arg) -> None:
+        self._pace_armed_for = None
+        self._maybe_send()
+
+    # -- receive path ---------------------------------------------------------------
+    def on_ack(self, ack: Packet) -> None:
+        if self.finished:
+            return
+        self.acks_received += 1
+        if ack.seq > self.snd_una:
+            self.snd_una = ack.seq
+            if self.config.retx_timeout_ps > 0:
+                self._retx_timer.start(self.config.retx_timeout_ps)
+        self.cc.on_ack(self, ack)
+        if self.snd_una >= self.flow.size_bytes:
+            self._finish()
+            return
+        self._maybe_send()
+
+    def on_cnp(self) -> None:
+        if not self.finished:
+            self.cc.on_cnp(self)
+
+    def _retx_fire(self, _arg) -> None:
+        if self.finished:
+            return
+        # Go-back-N: rewind to the last cumulatively acknowledged byte.
+        self.timeouts += 1
+        self.snd_nxt = self.snd_una
+        self.next_tx_ps = self.sim.now
+        self.cc.on_timeout(self)
+        self._retx_timer.start(self.config.retx_timeout_ps)
+        self._maybe_send()
+
+    def abort(self) -> None:
+        """Stop sending immediately (used by long-lived-flow experiments
+        like Fig. 13e where flows exit on a schedule rather than by size)."""
+        if not self.finished:
+            self._finish()
+
+    def _finish(self) -> None:
+        self.finished = True
+        self._pace_timer.cancel()
+        self._retx_timer.cancel()
+        self.cc.on_flow_finish(self)
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SenderQP flow={self.flow.flow_id} una={self.snd_una} "
+            f"nxt={self.snd_nxt}/{self.flow.size_bytes} W={self.window:.0f} "
+            f"R={self.rate_gbps:.1f}G>"
+        )

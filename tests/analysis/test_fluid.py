@@ -1,0 +1,91 @@
+"""The Eq. 1-3 fluid model."""
+
+import pytest
+
+from repro.analysis.fluid import (
+    FluidLink,
+    fair_window,
+    is_fixed_point,
+    queue_growth_rate_bytes_per_ps,
+    simulate_queue,
+)
+from repro.units import us
+
+
+def link100():
+    return FluidLink(100.0, us(12))
+
+
+class TestFairWindow:
+    def test_eq3_single_flow_is_bdp(self):
+        # W = B*RTT/1 = 150 KB at 100G / 12us.
+        assert fair_window(link100(), 1) == pytest.approx(150_000)
+
+    def test_eq3_divides_by_n(self):
+        assert fair_window(link100(), 4) == pytest.approx(37_500)
+
+    def test_beta_drains(self):
+        assert fair_window(link100(), 2, beta=0.9) == pytest.approx(67_500)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fair_window(link100(), 0)
+        with pytest.raises(ValueError):
+            fair_window(link100(), 2, beta=0)
+        with pytest.raises(ValueError):
+            FluidLink(0, us(12))
+
+
+class TestFixedPoint:
+    def test_eq2_fair_windows_are_stationary(self):
+        link = link100()
+        for n in (1, 2, 4, 8):
+            ws = [fair_window(link, n)] * n
+            assert is_fixed_point(link, ws, tolerance=1e-12)
+
+    def test_overload_grows(self):
+        link = link100()
+        ws = [fair_window(link, 1)] * 2  # 2x BDP offered
+        assert queue_growth_rate_bytes_per_ps(link, ws) > 0
+
+    def test_underload_negative(self):
+        link = link100()
+        assert queue_growth_rate_bytes_per_ps(link, [10_000.0]) < 0
+
+
+class TestIntegration:
+    def test_two_full_windows_grow_at_line_rate(self):
+        """Two flows each offering a full BDP: dq/dt = B exactly — the
+        Fig. 1 'queue fills at line rate before notification' situation."""
+        link = link100()
+        w = fair_window(link, 1)
+        ts, q = simulate_queue(link, [lambda t: w, lambda t: w], t_end_ps=us(100))
+        expected = link.bandwidth_bytes_per_ps * us(100)
+        assert q[-1] == pytest.approx(expected, rel=0.02)
+
+    def test_fair_windows_hold_queue_flat(self):
+        link = link100()
+        w = fair_window(link, 2)
+        ts, q = simulate_queue(
+            link, [lambda t: w, lambda t: w], t_end_ps=us(100), q0_bytes=50_000
+        )
+        assert q[-1] == pytest.approx(50_000, rel=0.02)
+
+    def test_beta_drains_standing_queue(self):
+        """Observation 4 + LHCS: windows at fair*beta drain the backlog."""
+        link = link100()
+        w = fair_window(link, 2, beta=0.9)
+        ts, q = simulate_queue(
+            link, [lambda t: w, lambda t: w], t_end_ps=us(200), q0_bytes=100_000
+        )
+        assert q[10] < q[0]  # draining from the start
+        assert q[-1] == pytest.approx(0.0, abs=1.0)  # fully drained, not negative
+
+    def test_queue_never_negative(self):
+        link = link100()
+        ts, q = simulate_queue(link, [lambda t: 1000.0], t_end_ps=us(100), q0_bytes=5_000)
+        assert (q >= 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_queue(link100(), [lambda t: 0.0], t_end_ps=0)

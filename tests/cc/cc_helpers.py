@@ -1,0 +1,49 @@
+"""Fakes for unit-testing CC algorithms without a network."""
+
+from repro.net.packet import ACK, INTRecord, Packet
+from repro.units import us
+
+
+class FakeSim:
+    def __init__(self):
+        # Start the clock away from zero: echoed timestamps of 0 mean
+        # "no timestamp" to the delay-based schemes.
+        self.now = us(1000)
+
+
+class FakeQP:
+    """Just the attributes the CC hooks touch."""
+
+    def __init__(self, rate_gbps=100.0, base_rtt_us=12.0):
+        self.sim = FakeSim()
+        self.base_rtt_ps = us(base_rtt_us)
+        self.line_rate_gbps = rate_gbps
+        self.window = 0.0
+        self.rate_gbps = 0.0
+        self.snd_nxt = 0
+        self.snd_una = 0
+        self.finished = False
+
+    @property
+    def bdp(self):
+        return self.line_rate_gbps / 8000.0 * self.base_rtt_ps
+
+
+def make_ack(seq=0, records=None, n_flows=1, reverse=False):
+    """An ACK with INT records.  ``records`` is a list of dicts with keys
+    B (Gbps), ts, tx, q.  ``reverse=True`` stores them in return-path order
+    (last request hop first) the way FNCC switches produce them."""
+    ack = Packet(ACK, flow_id=0, src=1, dst=0, seq=seq, size=64)
+    ack.n_flows = n_flows
+    if records is not None:
+        recs = [INTRecord(r["B"], r["ts"], r["tx"], r["q"]) for r in records]
+        ack.int_records = recs[::-1] if reverse else recs
+    return ack
+
+
+def idle_hop(bw=100.0, ts=0, tx=0):
+    return {"B": bw, "ts": ts, "tx": tx, "q": 0}
+
+
+def busy_hop(bw=100.0, ts=0, tx=0, q=500_000):
+    return {"B": bw, "ts": ts, "tx": tx, "q": q}

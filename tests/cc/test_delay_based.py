@@ -1,0 +1,121 @@
+"""Timely and Swift (related-work extensions): delay-driven dynamics."""
+
+import pytest
+
+from cc_helpers import FakeQP, make_ack
+
+from repro.cc.swift import Swift, SwiftConfig
+from repro.cc.timely import Timely, TimelyConfig
+from repro.units import us
+
+
+def ack_with_rtt(qp, rtt_ps, n_hops=1):
+    """An ACK whose echoed timestamp implies the given RTT."""
+    qp.sim.now += rtt_ps  # advance the fake clock
+    a = make_ack()
+    a.echo_sent_ts = qp.sim.now - rtt_ps
+    if n_hops:
+        a.int_records = []  # n_hops property reads the list
+    return a
+
+
+class TestTimely:
+    def started(self, cfg=None):
+        cc = Timely(cfg)
+        qp = FakeQP()
+        cc.on_flow_start(qp)
+        return cc, qp
+
+    def test_starts_at_line_rate(self):
+        cc, qp = self.started()
+        assert qp.rate_gbps == 100.0
+
+    def test_additive_increase_below_t_low(self):
+        cfg = TimelyConfig(add_step_gbps=2.0)
+        cc, qp = self.started(cfg)
+        qp.rate_gbps = 50.0
+        cc.on_ack(qp, ack_with_rtt(qp, us(5)))  # seeds prev_rtt
+        cc.on_ack(qp, ack_with_rtt(qp, us(5)))
+        assert qp.rate_gbps == pytest.approx(52.0)
+
+    def test_multiplicative_decrease_above_t_high(self):
+        cc, qp = self.started()
+        cc.on_ack(qp, ack_with_rtt(qp, us(60)))
+        cc.on_ack(qp, ack_with_rtt(qp, us(80)))
+        assert qp.rate_gbps < 100.0
+
+    def test_gradient_decrease_in_band(self):
+        cc, qp = self.started()
+        # RTT rising within [t_low, t_high]: positive gradient -> decrease.
+        cc.on_ack(qp, ack_with_rtt(qp, us(20)))
+        for rtt in (25, 30, 35, 40):
+            cc.on_ack(qp, ack_with_rtt(qp, us(rtt)))
+        assert qp.rate_gbps < 100.0
+
+    def test_rate_floor(self):
+        cfg = TimelyConfig(min_rate_gbps=1.0)
+        cc, qp = self.started(cfg)
+        for _ in range(100):
+            cc.on_ack(qp, ack_with_rtt(qp, us(500)))
+        assert qp.rate_gbps >= 1.0
+
+    def test_ignores_acks_without_timestamp(self):
+        cc, qp = self.started()
+        cc.on_ack(qp, make_ack())  # echo_sent_ts == 0
+        assert qp.rate_gbps == 100.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TimelyConfig(t_low_ps=us(50), t_high_ps=us(10))
+        with pytest.raises(ValueError):
+            TimelyConfig(ewma_alpha=0.0)
+
+
+class TestSwift:
+    def started(self, cfg=None):
+        cc = Swift(cfg)
+        qp = FakeQP()
+        cc.on_flow_start(qp)
+        return cc, qp
+
+    def test_starts_at_bdp(self):
+        cc, qp = self.started()
+        assert qp.window == pytest.approx(150_000)
+
+    def test_increase_below_target(self):
+        cc, qp = self.started()
+        qp.window = 50_000.0
+        w0 = qp.window
+        cc.on_ack(qp, ack_with_rtt(qp, us(13)))  # ~base RTT: below target
+        assert qp.window > w0
+
+    def test_decrease_above_target(self):
+        cc, qp = self.started()
+        cc.on_ack(qp, ack_with_rtt(qp, us(500)))
+        assert qp.window < 150_000
+
+    def test_at_most_one_decrease_per_rtt(self):
+        cc, qp = self.started()
+        cc.on_ack(qp, ack_with_rtt(qp, us(500)))
+        w1 = qp.window
+        # Immediately after (clock barely advances): no second MD.
+        a = make_ack()
+        a.echo_sent_ts = qp.sim.now - us(500)
+        cc.on_ack(qp, a)
+        assert qp.window == pytest.approx(w1, rel=0.05)
+
+    def test_window_floor(self):
+        cfg = SwiftConfig(min_window_bytes=400.0)
+        cc, qp = self.started(cfg)
+        for i in range(100):
+            qp.sim.now += us(20)
+            a = make_ack()
+            a.echo_sent_ts = qp.sim.now - us(2000)
+            cc.on_ack(qp, a)
+        assert qp.window >= 400.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SwiftConfig(base_target_ps=0)
+        with pytest.raises(ValueError):
+            SwiftConfig(max_mdf=1.0)

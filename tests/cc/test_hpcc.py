@@ -1,0 +1,238 @@
+"""HPCC's Alg. 3 mechanics against hand-computed INT sequences."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+from cc_helpers import FakeQP, make_ack  # noqa: E402
+
+from repro.cc.hpcc import Hpcc, HpccConfig
+from repro.units import us
+
+
+def started(cfg=None, rate=100.0):
+    cc = Hpcc(cfg)
+    qp = FakeQP(rate_gbps=rate)
+    cc.on_flow_start(qp)
+    return cc, qp
+
+
+def feed(cc, qp, records_sequence, seq_start=1, n_flows=1):
+    """Feed a sequence of per-ACK INT record lists (request order)."""
+    for i, recs in enumerate(records_sequence):
+        qp.snd_nxt += 10_000
+        cc.on_ack(qp, make_ack(seq=seq_start + i * 10_000, records=recs, n_flows=n_flows))
+
+
+class TestInit:
+    def test_window_starts_at_bdp(self):
+        cc, qp = started()
+        # 100 Gb/s * 12 us = 150 KB.
+        assert qp.window == pytest.approx(150_000)
+        assert qp.rate_gbps == pytest.approx(100.0)
+
+    def test_wai_default_is_headroom_share(self):
+        cc, qp = started()
+        expected = 150_000 * 0.05 / 8
+        assert cc.wai == pytest.approx(expected)
+
+    def test_explicit_wai(self):
+        cc, qp = started(HpccConfig(wai_bytes=500.0))
+        assert cc.wai == 500.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HpccConfig(eta=0.0)
+        with pytest.raises(ValueError):
+            HpccConfig(eta=1.5)
+        with pytest.raises(ValueError):
+            HpccConfig(max_stage=0)
+        with pytest.raises(ValueError):
+            HpccConfig(wai_flows=0)
+
+
+class TestMeasureInFlight:
+    def test_first_ack_only_seeds(self):
+        cc, qp = started()
+        w0 = qp.window
+        cc.on_ack(qp, make_ack(seq=1, records=[{"B": 100.0, "ts": 0, "tx": 0, "q": 0}]))
+        assert qp.window == w0  # no update on the seeding ACK
+        assert cc.prev_records is not None
+
+    def test_congested_hop_drives_u_up(self):
+        cc, qp = started()
+        # Hop at full rate with a deep queue: u > 1.
+        t1, t2 = us(1), us(2)
+        feed(
+            cc,
+            qp,
+            [
+                [{"B": 100.0, "ts": t1, "tx": 0, "q": 300_000}],
+                [{"B": 100.0, "ts": t2, "tx": 12_500, "q": 300_000}],
+            ],
+        )
+        # txRate = 12.5KB/us = 100Gb/s -> u = q/(B*T) + 1 = 300K/150K + 1 = 3.
+        assert cc.hop_u[0] == pytest.approx(3.0)
+        assert qp.window < 150_000  # window came down
+
+    def test_idle_hop_u_near_zero(self):
+        cc, qp = started()
+        feed(
+            cc,
+            qp,
+            [
+                [{"B": 100.0, "ts": us(1), "tx": 0, "q": 0}],
+                [{"B": 100.0, "ts": us(2), "tx": 0, "q": 0}],
+            ],
+        )
+        assert cc.hop_u[0] == pytest.approx(0.0)
+
+    def test_max_across_hops_wins(self):
+        cc, qp = started()
+        feed(
+            cc,
+            qp,
+            [
+                [
+                    {"B": 100.0, "ts": us(1), "tx": 0, "q": 0},
+                    {"B": 100.0, "ts": us(1), "tx": 0, "q": 400_000},
+                ],
+                [
+                    {"B": 100.0, "ts": us(2), "tx": 0, "q": 0},
+                    {"B": 100.0, "ts": us(2), "tx": 12_500, "q": 400_000},
+                ],
+            ],
+        )
+        assert max(cc.hop_u) == cc.hop_u[1]
+        assert cc.hop_u[1] > 3.0
+
+    def test_min_qlen_filters_transients(self):
+        cc, qp = started()
+        # Queue spikes then vanishes: min(q_now, q_prev)=0 suppresses it.
+        feed(
+            cc,
+            qp,
+            [
+                [{"B": 100.0, "ts": us(1), "tx": 0, "q": 0}],
+                [{"B": 100.0, "ts": us(2), "tx": 0, "q": 900_000}],
+                [{"B": 100.0, "ts": us(3), "tx": 0, "q": 0}],
+            ],
+        )
+        # Never both-high, so queue term never contributed.
+        assert cc.u_ewma < 1.0
+
+    def test_ewma_smooths(self):
+        cc, qp = started()
+        # tau == T -> full replacement; shorter tau -> partial.
+        cc.u_ewma = 1.0
+        recs0 = [{"B": 100.0, "ts": 0, "tx": 0, "q": 0}]
+        recs1 = [{"B": 100.0, "ts": us(1.2), "tx": 0, "q": 0}]  # tau = 1.2us << T
+        feed(cc, qp, [recs0, recs1])
+        assert 0.8 < cc.u_ewma < 1.0  # pulled toward 0 but only by tau/T
+
+
+class TestComputeWind:
+    def test_multiplicative_decrease_when_overloaded(self):
+        cc, qp = started()
+        # Sustained congestion: queue 600 KB at line rate for many ACKs so
+        # the EWMA crosses eta and the MI branch fires.
+        seq = [
+            [{"B": 100.0, "ts": us(1 + k), "tx": 12_500 * k, "q": 600_000}]
+            for k in range(10)
+        ]
+        feed(cc, qp, seq)
+        # u -> q/(B*T) + 1 = 5; W = Wc/(U/eta) + wai << Winit.
+        assert cc.u_ewma > 1.0
+        assert qp.window < 0.5 * cc.w_init
+
+    def test_additive_increase_stages_then_mi(self):
+        cfg = HpccConfig(max_stage=3)
+        cc, qp = started(cfg)
+        cc.u_ewma = 0.5  # below eta: AI branch
+        cc.wc = 100_000.0  # below Winit so AI steps are not clamped away
+        w0 = cc.wc
+        idle = [{"B": 100.0, "ts": us(1), "tx": 0, "q": 0}]
+        later = lambda k: [{"B": 100.0, "ts": us(1 + k), "tx": 0, "q": 0}]
+        cc.on_ack(qp, make_ack(seq=1, records=idle))
+        for k in range(1, 4):  # three AI steps (maxStage)
+            qp.snd_nxt += 1000
+            cc.on_ack(qp, make_ack(seq=qp.snd_nxt, records=later(k)))
+        assert cc.inc_stage == 3
+        assert cc.wc == pytest.approx(w0 + 3 * cc.wai, rel=1e-6)
+        # Next update must take the MI branch and reset the stage.
+        qp.snd_nxt += 1000
+        cc.on_ack(qp, make_ack(seq=qp.snd_nxt, records=later(4)))
+        assert cc.inc_stage == 0
+
+    def test_wc_only_commits_past_last_update_seq(self):
+        cc, qp = started()
+        cc.u_ewma = 0.5
+        idle = [{"B": 100.0, "ts": us(1), "tx": 0, "q": 0}]
+        cc.on_ack(qp, make_ack(seq=1, records=idle))
+        qp.snd_nxt = 50_000
+        cc.on_ack(qp, make_ack(seq=10, records=[{"B": 100.0, "ts": us(2), "tx": 0, "q": 0}]))
+        assert cc.last_update_seq == 50_000
+        wc_after = cc.wc
+        # ACKs below lastUpdateSeq adjust W but not Wc.
+        cc.on_ack(qp, make_ack(seq=20_000, records=[{"B": 100.0, "ts": us(3), "tx": 0, "q": 0}]))
+        assert cc.wc == wc_after
+
+    def test_window_clamped_to_winit(self):
+        cc, qp = started()
+        cc.u_ewma = 0.01  # near idle -> huge MI step
+        cc.inc_stage = 99  # force MI branch
+        idle = [{"B": 100.0, "ts": us(1), "tx": 0, "q": 0}]
+        cc.on_ack(qp, make_ack(seq=1, records=idle))
+        qp.snd_nxt += 1000
+        cc.on_ack(qp, make_ack(seq=qp.snd_nxt, records=[{"B": 100.0, "ts": us(2), "tx": 0, "q": 0}]))
+        assert qp.window <= cc.w_init
+
+    def test_window_floor(self):
+        cfg = HpccConfig(min_window_bytes=1518.0)
+        cc, qp = started(cfg)
+        cc.u_ewma = 50.0  # catastophic congestion signal
+        busy = lambda k: [{"B": 100.0, "ts": us(k), "tx": 12_500 * k, "q": 10**7}]
+        cc.on_ack(qp, make_ack(seq=1, records=busy(1)))
+        qp.snd_nxt += 1000
+        cc.on_ack(qp, make_ack(seq=qp.snd_nxt, records=busy(2)))
+        assert qp.window >= 1518.0
+
+    def test_rate_tracks_window(self):
+        cc, qp = started()
+        cc.u_ewma = 0.5
+        idle = [{"B": 100.0, "ts": us(1), "tx": 0, "q": 0}]
+        cc.on_ack(qp, make_ack(seq=1, records=idle))
+        qp.snd_nxt += 1000
+        cc.on_ack(qp, make_ack(seq=qp.snd_nxt, records=[{"B": 100.0, "ts": us(2), "tx": 0, "q": 0}]))
+        assert qp.rate_gbps == pytest.approx(qp.window / qp.base_rtt_ps * 8000.0)
+
+
+class TestRobustness:
+    def test_ack_without_int_ignored(self):
+        cc, qp = started()
+        w0 = qp.window
+        cc.on_ack(qp, make_ack(seq=1, records=None))
+        assert qp.window == w0
+
+    def test_hop_count_change_reseeds(self):
+        cc, qp = started()
+        cc.on_ack(qp, make_ack(seq=1, records=[{"B": 100.0, "ts": 0, "tx": 0, "q": 0}]))
+        two_hops = [
+            {"B": 100.0, "ts": us(1), "tx": 0, "q": 0},
+            {"B": 100.0, "ts": us(1), "tx": 0, "q": 0},
+        ]
+        w0 = qp.window
+        cc.on_ack(qp, make_ack(seq=2, records=two_hops))  # reseed, no update
+        assert qp.window == w0
+        assert len(cc.prev_records) == 2
+
+    def test_same_timestamp_degenerate_dt(self):
+        cc, qp = started()
+        recs = [{"B": 100.0, "ts": us(1), "tx": 0, "q": 0}]
+        cc.on_ack(qp, make_ack(seq=1, records=recs))
+        qp.snd_nxt += 1000
+        # Identical timestamp: txRate falls back to line rate, no crash.
+        cc.on_ack(qp, make_ack(seq=qp.snd_nxt, records=recs))
+        assert qp.window > 0

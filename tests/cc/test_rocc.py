@@ -1,0 +1,123 @@
+"""RoCC: switch PI controller dynamics and sender rate adoption."""
+
+import pytest
+
+from repro.cc.rocc import Rocc, RoccConfig, RoccPortController, install_rocc
+from repro.net.node import Node
+from repro.net.packet import DATA, Packet
+from repro.net.port import connect
+from repro.net.switch import Switch, SwitchConfig
+from repro.units import KB, us
+
+
+class Sink(Node):
+    def __init__(self, sim, name="sink"):
+        super().__init__(sim, name)
+
+    def receive(self, pkt, in_port):
+        pass
+
+
+def switch_with_port(sim):
+    sw = Switch(sim, "sw", SwitchConfig())
+    other = Sink(sim)
+    connect(sim, sw, other, 100.0, 0)
+    return sw
+
+
+class TestPiController:
+    def test_starts_at_line_rate(self, sim):
+        sw = switch_with_port(sim)
+        ctrl = RoccPortController(sw, 0, RoccConfig())
+        assert ctrl.fair_rate_gbps == 100.0
+
+    def test_rate_drops_under_standing_queue(self, sim):
+        sw = switch_with_port(sim)
+        cfg = RoccConfig(update_interval_ps=us(100))
+        ctrl = RoccPortController(sw, 0, cfg)
+        ctrl.start()
+        sw.ports[0].pause(0)
+        for i in range(400):  # ~600 KB standing queue
+            sw.ports[0].enqueue(Packet(DATA, flow_id=i, src=0, dst=1, size=1518, payload=1470))
+        sim.run(until=us(1000))
+        assert ctrl.fair_rate_gbps < 100.0
+
+    def test_rate_recovers_when_idle(self, sim):
+        sw = switch_with_port(sim)
+        cfg = RoccConfig(update_interval_ps=us(100), recover_gbps=5.0)
+        ctrl = RoccPortController(sw, 0, cfg)
+        ctrl.fair_rate_gbps = 50.0
+        ctrl.start()
+        sim.run(until=us(1100))  # 11 idle updates * 5G
+        assert ctrl.fair_rate_gbps == pytest.approx(100.0)
+
+    def test_rate_floor(self, sim):
+        sw = switch_with_port(sim)
+        cfg = RoccConfig(update_interval_ps=us(50), min_rate_gbps=2.0)
+        ctrl = RoccPortController(sw, 0, cfg)
+        ctrl.start()
+        sw.ports[0].pause(0)
+        for i in range(3000):
+            sw.ports[0].enqueue(Packet(DATA, flow_id=i, src=0, dst=1, size=1518, payload=1470))
+        sim.run(until=us(20_000))
+        assert ctrl.fair_rate_gbps >= 2.0
+
+    def test_convergence_is_slow_ms_scale(self, sim):
+        """The paper's point: RoCC needs ms-level time to move the rate."""
+        sw = switch_with_port(sim)
+        ctrl = RoccPortController(sw, 0, RoccConfig())
+        ctrl.start()
+        sw.ports[0].pause(0)
+        for i in range(350):  # ~530 KB
+            sw.ports[0].enqueue(Packet(DATA, flow_id=i, src=0, dst=1, size=1518, payload=1470))
+        sim.run(until=us(50))  # well under one update interval
+        assert ctrl.fair_rate_gbps == 100.0  # nothing happened yet
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RoccConfig(q_ref_bytes=-1)
+        with pytest.raises(ValueError):
+            RoccConfig(update_interval_ps=0)
+
+
+class TestInstall:
+    def test_install_covers_every_port(self, sim):
+        sw = Switch(sim, "sw", SwitchConfig())
+        for i in range(3):
+            connect(sim, sw, Sink(sim, f"s{i}"), 100.0, 0)
+        ctrls = install_rocc([sw])
+        assert len(ctrls) == 3
+        assert set(sw.port_controllers) == {0, 1, 2}
+
+
+class TestSender:
+    def test_adopts_advertised_rate(self):
+        from cc_helpers import FakeQP, make_ack
+
+        cc = Rocc()
+        qp = FakeQP()
+        cc.on_flow_start(qp)
+        ack = make_ack()
+        ack.rocc_rate_gbps = 42.0
+        cc.on_ack(qp, ack)
+        assert qp.rate_gbps == 42.0
+
+    def test_keeps_rate_without_stamp(self):
+        from cc_helpers import FakeQP, make_ack
+
+        cc = Rocc()
+        qp = FakeQP()
+        cc.on_flow_start(qp)
+        cc.on_ack(qp, make_ack())
+        assert qp.rate_gbps == 100.0
+
+    def test_never_exceeds_line_rate(self):
+        from cc_helpers import FakeQP, make_ack
+
+        cc = Rocc()
+        qp = FakeQP()
+        cc.on_flow_start(qp)
+        ack = make_ack()
+        ack.rocc_rate_gbps = 400.0
+        cc.on_ack(qp, ack)
+        assert qp.rate_gbps == 100.0

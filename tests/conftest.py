@@ -1,0 +1,21 @@
+"""Shared fixtures and sys.path setup for cross-directory helpers."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeedSequenceFactory
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def seeds():
+    return SeedSequenceFactory(42)

@@ -1,0 +1,34 @@
+"""Cross-directory test helpers (importable because conftest.py puts the
+tests/ directory on sys.path)."""
+
+from repro.experiments.common import build_cc_env, launch_flows
+from repro.sim.rng import SeedSequenceFactory
+from repro.topo.base import LinkSpec
+from repro.topo.dumbbell import dumbbell
+from repro.transport.flow import Flow
+from repro.units import MB, us
+
+
+def make_dumbbell(sim, cc="fncc", n_senders=2, rate=100.0, **env_kw):
+    """A wired dumbbell with the CC's switch config applied."""
+    env = build_cc_env(cc, link_rate_gbps=rate, **env_kw)
+    topo = dumbbell(
+        sim,
+        n_senders=n_senders,
+        n_switches=3,
+        link=LinkSpec(rate_gbps=rate, prop_delay_ps=us(1.5)),
+        switch_config=env.switch_config,
+        seeds=SeedSequenceFactory(7),
+        cnp_enabled=env.cnp_enabled,
+    )
+    env.post_install(topo)
+    return topo, env
+
+
+def run_one_flow(sim, topo, env, size_bytes=2 * MB, src=0, horizon_us=5000):
+    """Start a single flow and run to completion; returns the receiver QP."""
+    dst = topo.hosts[-1].host_id
+    flow = Flow(0, src, dst, size_bytes)
+    launch_flows(topo, [flow], env)
+    sim.run(until=us(horizon_us))
+    return topo.hosts[dst].receivers[0]

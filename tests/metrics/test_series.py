@@ -1,0 +1,62 @@
+"""TimeSeries container semantics."""
+
+import pytest
+
+from repro.metrics.series import TimeSeries
+
+
+def filled():
+    s = TimeSeries("t")
+    for t, v in [(0, 1.0), (10, 5.0), (20, 3.0), (30, 0.5)]:
+        s.append(t, v)
+    return s
+
+
+class TestBasics:
+    def test_len_and_arrays(self):
+        s = filled()
+        assert len(s) == 4
+        t, v = s.as_arrays()
+        assert list(t) == [0, 10, 20, 30]
+        assert v.dtype.kind == "f"
+
+    def test_max_mean(self):
+        s = filled()
+        assert s.max() == 5.0
+        assert s.mean() == pytest.approx((1 + 5 + 3 + 0.5) / 4)
+
+    def test_empty_series(self):
+        s = TimeSeries()
+        assert s.max() == 0.0
+        assert s.mean() == 0.0
+        assert s.value_at(100) == 0.0
+
+
+class TestWindows:
+    def test_mean_after_skips_warmup(self):
+        s = filled()
+        assert s.mean_after(15) == pytest.approx((3 + 0.5) / 2)
+
+    def test_max_after(self):
+        s = filled()
+        assert s.max_after(15) == 3.0
+        assert s.max_after(100) == 0.0
+
+    def test_value_at_step_interpolation(self):
+        s = filled()
+        assert s.value_at(0) == 1.0
+        assert s.value_at(15) == 5.0
+        assert s.value_at(30) == 0.5
+        assert s.value_at(999) == 0.5
+
+
+class TestThresholdScans:
+    def test_first_time_below(self):
+        s = filled()
+        assert s.first_time_below(1.0, after_ps=5) == 30
+        assert s.first_time_below(0.1) == -1
+
+    def test_first_time_above(self):
+        s = filled()
+        assert s.first_time_above(4.0) == 10
+        assert s.first_time_above(4.0, after_ps=15) == -1

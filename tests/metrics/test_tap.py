@@ -1,0 +1,93 @@
+"""PacketTap capture semantics."""
+
+import pytest
+
+from repro.cc.base import CongestionControl
+from repro.metrics.tap import PacketTap
+from repro.net.host import Host
+from repro.net.packet import ACK, DATA
+from repro.net.port import connect
+from repro.transport.flow import Flow
+from repro.units import us
+
+
+def wired_pair(sim):
+    a = Host(sim, "a", host_id=0)
+    b = Host(sim, "b", host_id=1)
+    connect(sim, a, b, 100.0, 0)
+    return a, b
+
+
+def run_flow(sim, a, b, size=20_000, flow_id=0):
+    flow = Flow(flow_id, 0, 1, size, start_ps=sim.now)
+    b.register_receiver(flow)
+    a.start_flow(flow, CongestionControl(), us(10))
+
+
+class TestCapture:
+    def test_captures_all_by_default(self, sim):
+        a, b = wired_pair(sim)
+        tap = PacketTap(b)
+        run_flow(sim, a, b)
+        sim.run()
+        assert tap.count == b.receivers[0].data_packets
+
+    def test_kind_filter(self, sim):
+        a, b = wired_pair(sim)
+        ack_tap = PacketTap(a, kind=ACK)
+        data_tap = PacketTap(b, kind=DATA)
+        run_flow(sim, a, b)
+        sim.run()
+        assert ack_tap.count == data_tap.count  # ack per packet
+        assert all(p.kind == ACK for p in ack_tap.packets)
+
+    def test_flow_filter(self, sim):
+        a, b = wired_pair(sim)
+        tap = PacketTap(b, kind=DATA, flow_id=1)
+        run_flow(sim, a, b, flow_id=0)
+        run_flow(sim, a, b, flow_id=1)
+        sim.run()
+        assert tap.count > 0
+        assert all(p.flow_id == 1 for p in tap.packets)
+
+    def test_predicate_filter(self, sim):
+        a, b = wired_pair(sim)
+        tap = PacketTap(b, kind=DATA, predicate=lambda p: p.last)
+        run_flow(sim, a, b)
+        sim.run()
+        assert tap.count == 1
+
+    def test_times_monotone_and_inter_arrivals(self, sim):
+        a, b = wired_pair(sim)
+        tap = PacketTap(b, kind=DATA)
+        run_flow(sim, a, b, size=30_000)
+        sim.run()
+        assert tap.times == sorted(tap.times)
+        assert all(g > 0 for g in tap.inter_arrival_ps())
+
+    def test_max_packets_cap(self, sim):
+        a, b = wired_pair(sim)
+        tap = PacketTap(b, kind=DATA, max_packets=3)
+        run_flow(sim, a, b, size=30_000)
+        sim.run()
+        assert tap.count == 3
+        assert tap.dropped > 0
+
+    def test_uninstall_stops_capture(self, sim):
+        a, b = wired_pair(sim)
+        tap = PacketTap(b)
+        run_flow(sim, a, b, size=5000, flow_id=0)
+        sim.run()
+        n = tap.count
+        tap.uninstall()
+        run_flow(sim, a, b, size=5000, flow_id=1)
+        sim.run()
+        assert tap.count == n  # second flow invisible
+        assert b.receivers[1].completed  # but still delivered
+
+    def test_summary_mentions_kinds(self, sim):
+        a, b = wired_pair(sim)
+        tap = PacketTap(b)
+        run_flow(sim, a, b, size=3000)
+        sim.run()
+        assert "DATA" in tap.summary()

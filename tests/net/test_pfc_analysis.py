@@ -1,0 +1,111 @@
+"""PFC deadlock (cyclic buffer dependency) analysis."""
+
+import pytest
+
+from repro.net.pfc_analysis import (
+    all_pairs_paths,
+    buffer_dependency_graph,
+    find_deadlock_cycles,
+    routing_is_deadlock_free,
+)
+from repro.sim.engine import Simulator
+from repro.topo.dumbbell import dumbbell
+from repro.topo.fattree import fattree
+from repro.topo.jellyfish import jellyfish
+
+
+class TestCbdGraph:
+    def test_linear_path_is_acyclic(self):
+        paths = [["h0", "s0", "s1", "h1"]]
+        assert routing_is_deadlock_free(paths)
+
+    def test_classic_ring_deadlocks(self):
+        """The textbook CBD: three flows chasing each other around a ring."""
+        paths = [
+            ["a", "s0", "s1", "s2", "b"],
+            ["c", "s1", "s2", "s0", "d"],
+            ["e", "s2", "s0", "s1", "f"],
+        ]
+        assert not routing_is_deadlock_free(paths)
+        cycles = find_deadlock_cycles(paths)
+        assert len(cycles) >= 1
+        # The cycle is among the inter-switch buffers.
+        nodes = {n for cyc in cycles for n in cyc}
+        assert ("s0", "s1", 0) in nodes
+
+    def test_two_flows_on_ring_no_cycle(self):
+        paths = [
+            ["a", "s0", "s1", "s2", "b"],
+            ["c", "s1", "s2", "s0", "d"],
+        ]
+        assert routing_is_deadlock_free(paths)
+
+    def test_graph_edges_follow_consecutive_hops(self):
+        g = buffer_dependency_graph([["h", "x", "y", "z", "r"]])
+        assert g.has_edge(("h", "x", 0), ("x", "y", 0))
+        assert g.has_edge(("x", "y", 0), ("y", "z", 0))
+        assert not g.has_edge(("x", "y", 0), ("z", "r", 0))
+
+    def test_short_path_rejected(self):
+        with pytest.raises(ValueError):
+            buffer_dependency_graph([["a"]])
+
+    def test_single_hop_path_adds_node_only(self):
+        g = buffer_dependency_graph([["a", "b"]])
+        assert ("a", "b", 0) in g.nodes
+        assert g.number_of_edges() == 0
+
+
+class TestRealTopologies:
+    def test_dumbbell_routing_deadlock_free(self):
+        topo = dumbbell(Simulator(), n_senders=3)
+        assert routing_is_deadlock_free(all_pairs_paths(topo))
+
+    def test_fattree_updown_ecmp_deadlock_free(self):
+        """Up-down routing never turns down-then-up, so no CBD — the reason
+        fat-trees tolerate PFC."""
+        topo = fattree(Simulator(), k=4)
+        assert routing_is_deadlock_free(all_pairs_paths(topo))
+
+    def test_jellyfish_per_tree_classes_deadlock_free(self):
+        """Observation 2 / TCP-Bolt: with one PFC priority class per
+        spanning tree, a random graph is deadlock-free — and the same
+        paths CAN deadlock if all trees share one class (which is exactly
+        why TCP-Bolt separates them)."""
+        from repro.net.pfc_analysis import all_pairs_paths_with_tree_classes
+
+        topo = jellyfish(
+            Simulator(), n_switches=10, switch_degree=4, hosts_per_switch=1
+        )
+        paths, classes = all_pairs_paths_with_tree_classes(topo)
+        assert routing_is_deadlock_free(paths, classes)
+
+    def test_shared_class_across_trees_can_deadlock(self):
+        from repro.net.pfc_analysis import all_pairs_paths_with_tree_classes
+
+        topo = jellyfish(
+            Simulator(), n_switches=10, switch_degree=4, hosts_per_switch=1
+        )
+        paths, _ = all_pairs_paths_with_tree_classes(topo)
+        # All trees squeezed into one lossless class: cycles appear.
+        assert not routing_is_deadlock_free(paths)
+
+    def test_classes_must_align(self):
+        with pytest.raises(ValueError):
+            buffer_dependency_graph([["a", "b", "c"]], classes=[0, 1])
+
+    def test_class_isolation_breaks_textbook_ring(self):
+        ring = [
+            ["a", "s0", "s1", "s2", "b"],
+            ["c", "s1", "s2", "s0", "d"],
+            ["e", "s2", "s0", "s1", "f"],
+        ]
+        assert not routing_is_deadlock_free(ring)
+        assert routing_is_deadlock_free(ring, classes=[0, 1, 2])
+
+    def test_non_tree_routed_topo_rejected(self):
+        from repro.net.pfc_analysis import all_pairs_paths_with_tree_classes
+
+        topo = dumbbell(Simulator(), n_senders=2)
+        with pytest.raises(ValueError):
+            all_pairs_paths_with_tree_classes(topo)

@@ -1,0 +1,226 @@
+"""Property-based tests (hypothesis) on the core data structures and
+invariants: event ordering, exact serialization arithmetic, CDF sampling,
+ideal-FCT monotonicity, hash quality, HPCC window bounds, and PFC
+losslessness under random traffic."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.ideal import ideal_fct_ps
+from repro.sim.engine import Simulator
+from repro.sim.rng import stable_hash64
+from repro.traffic.cdf import PiecewiseCdf
+from repro.units import serialization_ps, us
+
+
+class TestEngineProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_dispatch_order_is_sorted(self, delays):
+        sim = Simulator()
+        seen = []
+        for d in delays:
+            sim.schedule(d, seen.append, d)
+        sim.run()
+        assert seen == sorted(delays)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=100),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_run_until_never_overshoots(self, delays, horizon):
+        sim = Simulator()
+        for d in delays:
+            sim.schedule(d, lambda _: None)
+        sim.run(until=horizon)
+        assert sim.now <= max(horizon, 0) or not delays
+
+    @given(st.lists(st.integers(min_value=1, max_value=10**6), min_size=2, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_cancellation_removes_exactly_the_cancelled(self, delays):
+        sim = Simulator()
+        events = [sim.schedule(d, lambda _: None) for d in delays]
+        for ev in events[::2]:
+            ev.cancel()
+        assert sim.run() == len(delays) - len(events[::2])
+
+
+class TestSerializationProperties:
+    RATES = st.sampled_from([10.0, 25.0, 40.0, 50.0, 100.0, 200.0, 400.0])
+
+    @given(st.integers(min_value=0, max_value=10**9), RATES)
+    def test_nonnegative_and_monotone(self, nbytes, rate):
+        t = serialization_ps(nbytes, rate)
+        assert t >= 0
+        assert serialization_ps(nbytes + 1, rate) >= t
+
+    @given(st.integers(min_value=1, max_value=10**6), RATES)
+    def test_additive(self, nbytes, rate):
+        a = serialization_ps(nbytes, rate)
+        # Paper rates divide 8000 evenly, so serialization is exactly linear.
+        assert serialization_ps(2 * nbytes, rate) == 2 * a
+
+
+class TestCdfProperties:
+    @st.composite
+    def cdfs(draw):
+        n = draw(st.integers(min_value=2, max_value=8))
+        sizes = sorted(
+            draw(
+                st.lists(
+                    st.integers(min_value=1, max_value=10**8),
+                    min_size=n,
+                    max_size=n,
+                    unique=True,
+                )
+            )
+        )
+        probs = sorted(
+            draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=0.99),
+                    min_size=n - 1,
+                    max_size=n - 1,
+                )
+            )
+        )
+        return PiecewiseCdf(list(zip(sizes, probs + [1.0])))
+
+    @given(cdfs(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=100, deadline=None)
+    def test_samples_in_support(self, cdf, seed):
+        rng = random.Random(seed)
+        x = cdf.sample(rng)
+        assert 1 <= x <= cdf.sizes[-1] + 1
+
+    @given(cdfs())
+    @settings(max_examples=50, deadline=None)
+    def test_quantiles_monotone(self, cdf):
+        qs = [cdf.quantile(q / 10) for q in range(11)]
+        assert qs == sorted(qs)
+
+    @given(cdfs())
+    @settings(max_examples=50, deadline=None)
+    def test_mean_within_support(self, cdf):
+        m = cdf.mean()
+        assert 0 <= m <= cdf.sizes[-1]
+
+
+class TestIdealFctProperties:
+    LINKS = st.lists(
+        st.tuples(
+            st.sampled_from([25.0, 100.0, 400.0]),
+            st.integers(min_value=0, max_value=10**7),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+
+    @given(st.integers(min_value=1, max_value=10**7), LINKS)
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_size(self, size, links):
+        assert ideal_fct_ps(size + 1000, links) >= ideal_fct_ps(size, links)
+
+    @given(st.integers(min_value=1, max_value=10**6), LINKS)
+    @settings(max_examples=60, deadline=None)
+    def test_extra_hop_never_faster(self, size, links):
+        longer = links + [(100.0, us(1))]
+        assert ideal_fct_ps(size, longer) >= ideal_fct_ps(size, links)
+
+    @given(st.integers(min_value=1, max_value=10**6), LINKS)
+    @settings(max_examples=60, deadline=None)
+    def test_at_least_bottleneck_time(self, size, links):
+        bottleneck = min(r for r, _ in links)
+        assert ideal_fct_ps(size, links) >= serialization_ps(size, bottleneck)
+
+
+class TestHashProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=2**63), min_size=1, max_size=5))
+    @settings(max_examples=100)
+    def test_stable(self, parts):
+        assert stable_hash64(*parts) == stable_hash64(*parts)
+
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=100)
+    def test_canonical_symmetry_for_ecmp(self, a, b, n):
+        """The symmetric-ECMP construction: canonicalized inputs give the
+        same bucket in both directions."""
+        lo, hi = min(a, b), max(a, b)
+        assert stable_hash64(lo, hi, 7) % n == stable_hash64(lo, hi, 7) % n
+
+    def test_bucket_balance(self):
+        counts = [0, 0, 0, 0]
+        for f in range(4000):
+            counts[stable_hash64(3, 99, f) % 4] += 1
+        assert min(counts) > 800  # roughly uniform
+
+
+class TestHpccWindowProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2_000_000),  # qlen
+                st.integers(min_value=0, max_value=200_000),  # tx delta
+            ),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_window_always_within_bounds(self, samples):
+        """Whatever INT sequence arrives, W stays in [min_window, W_init]."""
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(0, str(Path(__file__).parent.parent / "cc"))
+        from cc_helpers import FakeQP, make_ack
+
+        from repro.cc.hpcc import Hpcc
+
+        cc = Hpcc()
+        qp = FakeQP()
+        cc.on_flow_start(qp)
+        tx = 0
+        for i, (qlen, dtx) in enumerate(samples):
+            tx += dtx
+            qp.snd_nxt += 5000
+            recs = [{"B": 100.0, "ts": us(1 + i), "tx": tx, "q": qlen}]
+            cc.on_ack(qp, make_ack(seq=1 + i * 5000, records=recs))
+            assert cc.config.min_window_bytes <= qp.window <= cc.w_init
+            assert qp.rate_gbps >= 0
+
+
+class TestPfcLosslessnessProperty:
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_random_incast_is_lossless(self, seed, n_senders):
+        """PFC with sane thresholds never drops, whatever the arrival jitter."""
+        from repro.experiments.common import build_cc_env, launch_flows
+        from repro.sim.rng import SeedSequenceFactory
+        from repro.topo.star import star
+        from repro.transport.flow import Flow
+
+        rng = random.Random(seed)
+        sim = Simulator()
+        env = build_cc_env("dcqcn")  # most aggressive queue builder
+        topo = star(
+            sim,
+            n_senders + 1,
+            switch_config=env.switch_config,
+            seeds=SeedSequenceFactory(1),
+            cnp_enabled=True,
+        )
+        flows = [
+            Flow(i, i, n_senders, rng.randrange(10_000, 400_000), start_ps=us(rng.uniform(0, 50)))
+            for i in range(n_senders)
+        ]
+        launch_flows(topo, flows, env)
+        sim.run(until=us(3000))
+        assert sum(sw.drops for sw in topo.switches) == 0

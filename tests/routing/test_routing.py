@@ -1,0 +1,146 @@
+"""Routing: table computation, ECMP selection, and — the FNCC-critical
+property — path symmetry between data packets and their ACKs."""
+
+import networkx as nx
+import pytest
+
+from repro.net.packet import ACK, DATA, Packet
+from repro.routing.ecmp import install_ecmp
+from repro.routing.spanning_tree import build_trees, install_spanning_trees
+from repro.routing.tables import build_graph_tables
+from repro.sim.engine import Simulator
+from repro.topo.dumbbell import dumbbell
+from repro.topo.fattree import fattree
+from repro.topo.jellyfish import jellyfish
+
+
+def trace_path(topo, src, dst, flow_id, kind=DATA):
+    """Follow routing decisions switch by switch; returns switch names."""
+    pkt = Packet(kind, flow_id=flow_id, src=src, dst=dst)
+    # Entry switch: the switch adjacent to the source host.
+    host = topo.hosts[src].name
+    current = next(iter(topo.graph[host]))
+    names = []
+    guard = 0
+    while True:
+        guard += 1
+        assert guard < 32, "routing loop"
+        sw = topo.node(current)
+        names.append(current)
+        out_port = sw.router(sw, pkt)
+        peer = sw.ports[out_port].peer.node
+        if peer.name == topo.hosts[dst].name:
+            return names
+        current = peer.name
+
+
+class TestTables:
+    def test_dumbbell_next_hops(self, sim):
+        topo = dumbbell(sim, n_senders=2, n_switches=3)
+        rt = build_graph_tables(topo)
+        recv = topo.hosts[-1].host_id
+        # sw0 must route to the receiver via sw1 (single path).
+        ports = rt.ports_for("sw0", recv)
+        assert len(ports) == 1
+
+    def test_missing_route_raises(self, sim):
+        topo = dumbbell(sim)
+        rt = build_graph_tables(topo)
+        with pytest.raises(KeyError):
+            rt.ports_for("sw0", 999)
+        with pytest.raises(KeyError):
+            rt.ports_for("nonexistent", 0)
+
+    def test_fattree_has_equal_cost_choices(self, sim):
+        topo = fattree(sim, k=4)
+        rt = build_graph_tables(topo)
+        # A ToR reaching a remote pod has k/2 = 2 uplink choices.
+        remote_host = topo.node("h_3_0_0").host_id
+        assert len(rt.ports_for("tor_0_0", remote_host)) == 2
+
+
+class TestEcmp:
+    def test_same_flow_same_path(self, sim):
+        topo = fattree(sim, k=4)
+        a = topo.node("h_0_0_0").host_id
+        b = topo.node("h_2_1_0").host_id
+        p1 = trace_path(topo, a, b, flow_id=7)
+        p2 = trace_path(topo, a, b, flow_id=7)
+        assert p1 == p2
+
+    def test_different_flows_spread(self, sim):
+        topo = fattree(sim, k=4)
+        a = topo.node("h_0_0_0").host_id
+        b = topo.node("h_2_1_0").host_id
+        paths = {tuple(trace_path(topo, a, b, flow_id=f)) for f in range(32)}
+        assert len(paths) > 1  # load is actually balanced
+
+    def test_symmetric_ack_path_fattree(self, sim):
+        """Observation 2: the ACK must traverse the same switches in reverse."""
+        topo = fattree(sim, k=4)
+        a = topo.node("h_0_0_0").host_id
+        b = topo.node("h_2_1_0").host_id
+        for flow_id in range(24):
+            data_path = trace_path(topo, a, b, flow_id, kind=DATA)
+            ack_path = trace_path(topo, b, a, flow_id, kind=ACK)
+            assert ack_path == data_path[::-1], f"flow {flow_id} asymmetric"
+
+    def test_asymmetric_mode_breaks_symmetry(self, sim):
+        topo = fattree(sim, k=4, symmetric_ecmp=False)
+        a = topo.node("h_0_0_0").host_id
+        b = topo.node("h_2_1_0").host_id
+        mismatches = 0
+        for flow_id in range(32):
+            data_path = trace_path(topo, a, b, flow_id)
+            ack_path = trace_path(topo, b, a, flow_id, kind=ACK)
+            if ack_path != data_path[::-1]:
+                mismatches += 1
+        assert mismatches > 0
+
+    def test_k8_symmetry_spot_check(self):
+        sim = Simulator()
+        topo = fattree(sim, k=8)
+        a = topo.node("h_0_0_0").host_id
+        b = topo.node("h_7_3_3").host_id
+        for flow_id in range(8):
+            data_path = trace_path(topo, a, b, flow_id)
+            ack_path = trace_path(topo, b, a, flow_id, kind=ACK)
+            assert ack_path == data_path[::-1]
+
+
+class TestSpanningTrees:
+    def test_trees_span_all_nodes(self, sim):
+        topo = jellyfish(sim, n_switches=8, switch_degree=4)
+        trees = build_trees(topo, 3, seed=1)
+        for t in trees:
+            assert set(t.nodes) == set(topo.graph.nodes)
+            assert nx.is_tree(t)
+
+    def test_trees_differ(self, sim):
+        topo = jellyfish(sim, n_switches=10, switch_degree=4)
+        trees = build_trees(topo, 4, seed=1)
+        edge_sets = {frozenset(map(frozenset, t.edges)) for t in trees}
+        assert len(edge_sets) > 1
+
+    def test_symmetry_by_construction(self, sim):
+        topo = jellyfish(sim, n_switches=8, switch_degree=4, hosts_per_switch=1)
+        # jellyfish() installs spanning-tree routing already.
+        n = len(topo.hosts)
+        for flow_id in range(10):
+            a, b = flow_id % n, (flow_id + 3) % n
+            if a == b:
+                continue
+            data_path = trace_path(topo, a, b, flow_id)
+            ack_path = trace_path(topo, b, a, flow_id, kind=ACK)
+            assert ack_path == data_path[::-1]
+
+    def test_tree_count_validated(self, sim):
+        topo = jellyfish(sim)
+        with pytest.raises(ValueError):
+            build_trees(topo, 0, seed=1)
+
+    def test_deterministic_trees(self, sim):
+        topo = jellyfish(sim, n_switches=8, switch_degree=4)
+        t1 = build_trees(topo, 2, seed=9)
+        t2 = build_trees(topo, 2, seed=9)
+        assert [sorted(t.edges) for t in t1] == [sorted(t.edges) for t in t2]

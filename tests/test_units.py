@@ -1,0 +1,76 @@
+"""Units: exact integer conversions the whole simulator relies on."""
+
+import pytest
+
+from repro import units
+
+
+class TestTimeConversions:
+    def test_constants_ratios(self):
+        assert units.NS == 1000 * units.PS
+        assert units.US == 1000 * units.NS
+        assert units.MS == 1000 * units.US
+        assert units.SEC == 1000 * units.MS
+
+    def test_us_round_trip(self):
+        assert units.to_us(units.us(12.5)) == pytest.approx(12.5)
+
+    def test_ns_is_integer(self):
+        assert isinstance(units.ns(1.5), int)
+        assert units.ns(1.5) == 1500
+
+    def test_ms_and_sec(self):
+        assert units.ms(2) == 2 * units.MS
+        assert units.sec(0.001) == units.MS
+
+    def test_to_sec(self):
+        assert units.to_sec(units.SEC) == 1.0
+
+
+class TestSerialization:
+    def test_mtu_at_100g_exact(self):
+        # 1538 bytes * 8 bits * 1000 / 100 == 123040 ps, exactly.
+        assert units.serialization_ps(1538, 100.0) == 123040
+
+    def test_scales_inverse_with_rate(self):
+        t100 = units.serialization_ps(1518, 100.0)
+        t200 = units.serialization_ps(1518, 200.0)
+        t400 = units.serialization_ps(1518, 400.0)
+        assert t100 == 2 * t200 == 4 * t400
+
+    def test_zero_bytes(self):
+        assert units.serialization_ps(0, 100.0) == 0
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            units.serialization_ps(100, 0)
+        with pytest.raises(ValueError):
+            units.serialization_ps(100, -1)
+
+    def test_linear_in_bytes(self):
+        assert units.serialization_ps(3000, 100.0) == 2 * units.serialization_ps(
+            1500, 100.0
+        )
+
+
+class TestRates:
+    def test_gbps_bytes_per_ps_round_trip(self):
+        r = units.gbps_to_bytes_per_ps(100.0)
+        assert units.bytes_per_ps_to_gbps(r) == pytest.approx(100.0)
+
+    def test_100g_is_eightieth(self):
+        # 100 Gb/s == 12.5 GB/s == 0.0125 bytes/ps.
+        assert units.gbps_to_bytes_per_ps(100.0) == pytest.approx(0.0125)
+
+    def test_bdp_100g_12us(self):
+        # 100 Gb/s * 12 us = 150 KB.
+        assert units.bdp_bytes(100.0, units.us(12)) == 150_000
+
+    def test_rate_of_window_inverts_bdp(self):
+        rtt = units.us(12)
+        w = units.bdp_bytes(100.0, rtt)
+        assert units.rate_of_window(w, rtt) == pytest.approx(100.0)
+
+    def test_rate_of_window_rejects_bad_rtt(self):
+        with pytest.raises(ValueError):
+            units.rate_of_window(1000.0, 0)

@@ -1,0 +1,67 @@
+"""ASCII visualization helpers."""
+
+from repro.metrics.series import TimeSeries
+from repro.viz import ascii_plot, compare_series, sparkline
+
+
+def series(values, dt=1_000_000):
+    s = TimeSeries("t")
+    for i, v in enumerate(values):
+        s.append(i * dt, float(v))
+    return s
+
+
+class TestSparkline:
+    def test_length_capped_at_width(self):
+        assert len(sparkline(range(1000), width=40)) == 40
+
+    def test_short_input_kept(self):
+        assert len(sparkline([1, 2, 3], width=40)) == 3
+
+    def test_flat_series_lowest_glyph(self):
+        out = sparkline([5, 5, 5])
+        assert out == out[0] * 3
+
+    def test_monotone_ramp_monotone_glyphs(self):
+        out = sparkline(range(8), width=8)
+        assert list(out) == sorted(out)
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestAsciiPlot:
+    def test_contains_title_and_axes(self):
+        out = ascii_plot(series([0, 5, 2, 8, 1]), title="queue")
+        assert "queue" in out
+        assert "time (us)" in out
+        assert "*" in out
+
+    def test_peak_row_is_top(self):
+        out = ascii_plot(series([0, 0, 10, 0, 0]), height=5, width=20)
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert "*" in lines[0]  # max lands on the top row
+
+    def test_empty_series(self):
+        assert "(empty)" in ascii_plot(TimeSeries(), title="x")
+
+    def test_y_scale_applied(self):
+        out = ascii_plot(series([1000.0]), y_scale=0.001)
+        assert "1.0" in out
+
+
+class TestCompareSeries:
+    def test_one_line_per_series(self):
+        out = compare_series({"a": series([1, 2]), "b": series([3, 4])})
+        assert len(out.splitlines()) == 2
+        assert "peak=4.0" in out
+
+    def test_shared_scale(self):
+        # The small series must render low glyphs against the big one.
+        out = compare_series({"small": series([1, 1]), "big": series([100, 100])})
+        small_line, big_line = out.splitlines()
+        assert "▁" in small_line
+        assert "█" in big_line
+
+    def test_empty_dict(self):
+        assert compare_series({}) == ""

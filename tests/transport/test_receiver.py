@@ -1,0 +1,170 @@
+"""Receiver QP: cumulative ACKs, coalescing, INT echo, N field, CNP pacing."""
+
+from repro.cc.base import CongestionControl
+from repro.net.host import Host
+from repro.net.packet import ACK, CNP, DATA, INTRecord, Packet
+from repro.net.port import connect
+from repro.net.switch import INT_RECORD_BYTES
+from repro.transport.flow import Flow
+from repro.transport.sender import TransportConfig
+from repro.units import ACK_SIZE, us
+
+
+def pair(sim, transport=None, cnp=False, delay=0):
+    a = Host(sim, "a", host_id=0, transport=transport)
+    b = Host(sim, "b", host_id=1, transport=transport, cnp_enabled=cnp)
+    connect(sim, a, b, 100.0, delay)
+    return a, b
+
+
+def collect_kinds(host):
+    """Wrap host.receive to log arriving packets."""
+    log = []
+    orig = host.receive
+
+    def spy(pkt, in_port):
+        log.append(pkt)
+        orig(pkt, in_port)
+
+    host.receive = spy
+    return log
+
+
+class TestAckGeneration:
+    def test_ack_per_packet_by_default(self, sim):
+        a, b = pair(sim)
+        acks = collect_kinds(a)
+        flow = Flow(0, 0, 1, 10_000)
+        b.register_receiver(flow)
+        a.start_flow(flow, CongestionControl(), us(10))
+        sim.run()
+        n_data = b.receivers[0].data_packets
+        assert sum(1 for p in acks if p.kind == ACK) == n_data
+
+    def test_cumulative_ack_every_m(self, sim):
+        cfg = TransportConfig(ack_every=4)
+        a, b = pair(sim, transport=cfg)
+        acks = collect_kinds(a)
+        flow = Flow(0, 0, 1, 20_000)  # 14 packets
+        b.register_receiver(flow)
+        qp = a.start_flow(flow, CongestionControl(), us(10))
+        sim.run()
+        n_data = b.receivers[0].data_packets
+        n_acks = sum(1 for p in acks if p.kind == ACK)
+        assert n_acks < n_data
+        assert qp.finished  # the final packet always forces an ACK
+
+    def test_ack_seq_is_cumulative(self, sim):
+        a, b = pair(sim)
+        acks = collect_kinds(a)
+        flow = Flow(0, 0, 1, 5000)
+        b.register_receiver(flow)
+        a.start_flow(flow, CongestionControl(), us(10))
+        sim.run()
+        seqs = [p.seq for p in acks if p.kind == ACK]
+        assert seqs == sorted(seqs)
+        assert seqs[-1] == 5000
+
+    def test_final_ack_has_last_flag(self, sim):
+        a, b = pair(sim)
+        acks = collect_kinds(a)
+        flow = Flow(0, 0, 1, 3000)
+        b.register_receiver(flow)
+        a.start_flow(flow, CongestionControl(), us(10))
+        sim.run()
+        ack_pkts = [p for p in acks if p.kind == ACK]
+        assert ack_pkts[-1].last is True
+
+    def test_reverse_addressing(self, sim):
+        a, b = pair(sim)
+        acks = collect_kinds(a)
+        flow = Flow(0, 0, 1, 1000)
+        b.register_receiver(flow)
+        a.start_flow(flow, CongestionControl(), us(10))
+        sim.run()
+        ack = [p for p in acks if p.kind == ACK][0]
+        assert ack.src == 1 and ack.dst == 0 and ack.flow_id == 0
+
+
+class TestIntEcho:
+    def test_data_int_copied_to_ack(self, sim):
+        a, b = pair(sim)
+        flow = Flow(0, 0, 1, 1000)
+        b.register_receiver(flow)
+        rqp = b.receivers[0]
+        acks = collect_kinds(a)
+        a.register_receiver  # silence lint
+        pkt = Packet(DATA, flow_id=0, src=0, dst=1, seq=0, size=1048, payload=1000)
+        pkt.last = True
+        pkt.add_int(INTRecord(100.0, 5, 100, 7))
+        pkt.add_int(INTRecord(100.0, 6, 200, 9))
+        rqp.on_data(pkt)
+        sim.run()
+        ack = [p for p in acks if p.kind == ACK][0]
+        assert [r.qlen for r in ack.int_records] == [7, 9]
+        assert ack.size == ACK_SIZE + 2 * INT_RECORD_BYTES
+
+    def test_n_flows_always_stamped(self, sim):
+        a, b = pair(sim)
+        acks = collect_kinds(a)
+        flow = Flow(0, 0, 1, 1000)
+        b.register_receiver(flow)
+        a.start_flow(flow, CongestionControl(), us(10))
+        sim.run()
+        ack = [p for p in acks if p.kind == ACK][0]
+        assert ack.n_flows == 1
+
+    def test_n_flows_counts_concurrency(self, sim):
+        a, b = pair(sim)
+        acks = collect_kinds(a)
+        f0 = Flow(0, 0, 1, 500_000)
+        f1 = Flow(1, 0, 1, 500_000)
+        for f in (f0, f1):
+            b.register_receiver(f)
+            a.start_flow(f, CongestionControl(), us(10))
+        sim.run()
+        assert max(p.n_flows for p in acks if p.kind == ACK) == 2
+
+
+class TestCnp:
+    def run_marked_flow(self, sim, cnp_enabled, n_marked=30, spacing_us=1.0):
+        a, b = pair(sim, cnp=cnp_enabled)
+        cnps = collect_kinds(a)
+        flow = Flow(0, 0, 1, 10**6)
+        b.register_receiver(flow)
+        a.senders  # keep a alive
+        rqp = b.receivers[0]
+
+        def inject(i):
+            pkt = Packet(DATA, flow_id=0, src=0, dst=1, seq=i * 1470, size=1518, payload=1470)
+            pkt.ecn = True
+            rqp.on_data(pkt)
+
+        for i in range(n_marked):
+            sim.schedule(us(i * spacing_us), lambda arg, i=i: inject(i))
+        sim.run()
+        return [p for p in cnps if p.kind == CNP]
+
+    def test_cnp_sent_on_ce_mark(self, sim):
+        assert len(self.run_marked_flow(sim, cnp_enabled=True)) >= 1
+
+    def test_cnp_rate_limited_to_interval(self, sim):
+        # 30 marked packets over 30 us but CNP interval is 50 us -> one CNP.
+        cnps = self.run_marked_flow(sim, cnp_enabled=True)
+        assert len(cnps) == 1
+
+    def test_no_cnp_when_disabled(self, sim):
+        assert self.run_marked_flow(sim, cnp_enabled=False) == []
+
+    def test_ecn_echo_set_on_ack(self, sim):
+        a, b = pair(sim)
+        acks = collect_kinds(a)
+        flow = Flow(0, 0, 1, 1000)
+        b.register_receiver(flow)
+        pkt = Packet(DATA, flow_id=0, src=0, dst=1, seq=0, size=1048, payload=1000)
+        pkt.ecn = True
+        pkt.last = True
+        b.receivers[0].on_data(pkt)
+        sim.run()
+        ack = [p for p in acks if p.kind == ACK][0]
+        assert ack.ecn_echo is True

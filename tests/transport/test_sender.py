@@ -1,0 +1,252 @@
+"""Sender QP: packetization, pacing, window clocking, go-back-N."""
+
+import pytest
+
+from repro.cc.base import CongestionControl
+from repro.net.host import Host
+from repro.net.port import connect
+from repro.transport.flow import Flow
+from repro.transport.sender import HEADER_BYTES, TransportConfig
+from repro.units import DEFAULT_MTU, serialization_ps, us
+
+
+def pair(sim, transport=None, rate=100.0, delay=0):
+    a = Host(sim, "a", host_id=0, transport=transport)
+    b = Host(sim, "b", host_id=1, transport=transport)
+    connect(sim, a, b, rate, delay)
+    return a, b
+
+
+class RecordingCc(CongestionControl):
+    def __init__(self):
+        self.acks = 0
+        self.timeouts = 0
+        self.finished = 0
+
+    def on_ack(self, qp, ack):
+        self.acks += 1
+
+    def on_timeout(self, qp):
+        self.timeouts += 1
+
+    def on_flow_finish(self, qp):
+        self.finished += 1
+
+
+class TestPacketization:
+    def test_payload_is_mtu_minus_header(self, sim):
+        a, b = pair(sim)
+        got = []
+        b.register_receiver(Flow(0, 0, 1, 10_000))
+        orig = b.receive
+
+        def spy(pkt, in_port):
+            from repro.net.packet import DATA
+            if pkt.kind == DATA:
+                got.append(pkt.payload)
+            orig(pkt, in_port)
+
+        b.receive = spy
+        a.start_flow(Flow(0, 0, 1, 10_000), CongestionControl(), us(10))
+        sim.run()
+        full = DEFAULT_MTU - HEADER_BYTES
+        assert got[:-1] == [full] * (len(got) - 1)
+        assert got[-1] == 10_000 - full * (len(got) - 1)
+        assert sum(got) == 10_000
+
+    def test_last_flag_only_on_final_packet(self, sim):
+        a, b = pair(sim)
+        flags = []
+        flow = Flow(0, 0, 1, 5000)
+        b.register_receiver(flow)
+        orig = b.receive
+
+        def spy(pkt, in_port):
+            from repro.net.packet import DATA
+            if pkt.kind == DATA:
+                flags.append(pkt.last)
+            orig(pkt, in_port)
+
+        b.receive = spy
+        a.start_flow(flow, CongestionControl(), us(10))
+        sim.run()
+        assert flags[-1] is True
+        assert not any(flags[:-1])
+
+    def test_tiny_flow_single_packet(self, sim):
+        a, b = pair(sim)
+        flow = Flow(0, 0, 1, 10)
+        b.register_receiver(flow)
+        qp = a.start_flow(flow, CongestionControl(), us(10))
+        sim.run()
+        assert qp.finished
+        assert b.receivers[0].data_packets == 1
+
+
+class TestPacing:
+    def test_rate_controls_inter_packet_gap(self, sim):
+        a, b = pair(sim, rate=100.0)
+        times = []
+        flow = Flow(0, 0, 1, 20 * DEFAULT_MTU)
+        b.register_receiver(flow)
+        orig = b.receive
+
+        def spy(pkt, in_port):
+            from repro.net.packet import DATA
+            if pkt.kind == DATA:
+                times.append(sim.now)
+            orig(pkt, in_port)
+
+        b.receive = spy
+
+        class HalfRate(CongestionControl):
+            def on_flow_start(self, cc_qp):
+                cc_qp.window = float(1 << 50)
+                cc_qp.rate_gbps = 50.0
+
+        a.start_flow(flow, HalfRate(), us(10))
+        sim.run()
+        gaps = [t1 - t0 for t0, t1 in zip(times, times[1:])]
+        expected = serialization_ps(DEFAULT_MTU, 50.0)
+        # All mid-flow gaps equal the 50 Gb/s pacing interval.
+        assert all(g == expected for g in gaps[1:-1])
+
+    def test_zero_rate_throttles_fully(self, sim):
+        a, b = pair(sim)
+
+        class Stopped(CongestionControl):
+            def on_flow_start(self, qp):
+                qp.window = float(1 << 50)
+                qp.rate_gbps = 0.0
+
+        flow = Flow(0, 0, 1, 100_000)
+        b.register_receiver(flow)
+        a.start_flow(flow, Stopped(), us(10))
+        sim.run(until=us(5))
+        # Only the first packet (emitted before pacing kicks in) can be out.
+        assert b.receivers[0].data_packets <= 1
+
+
+class TestWindowClocking:
+    def test_window_limits_inflight(self, sim):
+        a, b = pair(sim, rate=100.0, delay=us(10))
+
+        class OneMtu(CongestionControl):
+            def on_flow_start(self, qp):
+                qp.window = float(DEFAULT_MTU)
+                qp.rate_gbps = qp.line_rate_gbps
+
+        flow = Flow(0, 0, 1, 20 * DEFAULT_MTU)
+        b.register_receiver(flow)
+        qp = a.start_flow(flow, OneMtu(), us(10))
+        sim.run(until=us(5))
+        # Send-while-below-W overshoots by at most one frame, then stalls
+        # until an ACK arrives (none within 5 us on a 20 us RTT wire).
+        assert qp.inflight <= DEFAULT_MTU + (DEFAULT_MTU - HEADER_BYTES)
+
+    def test_ack_opens_window(self, sim):
+        a, b = pair(sim, delay=0)
+
+        class OneMtu(CongestionControl):
+            def on_flow_start(self, qp):
+                qp.window = float(DEFAULT_MTU)
+                qp.rate_gbps = qp.line_rate_gbps
+
+        flow = Flow(0, 0, 1, 5 * (DEFAULT_MTU - HEADER_BYTES))
+        b.register_receiver(flow)
+        qp = a.start_flow(flow, OneMtu(), us(10))
+        sim.run()
+        assert qp.finished  # ACK clocking drained the whole flow
+
+    def test_rate_only_mode_ignores_window(self, sim):
+        cfg = TransportConfig(window_limited=False)
+        a, b = pair(sim, transport=cfg, delay=us(50))
+
+        class TinyWindowButUnlimited(CongestionControl):
+            def on_flow_start(self, qp):
+                qp.window = 1.0  # would block if window_limited
+                qp.rate_gbps = qp.line_rate_gbps
+
+        flow = Flow(0, 0, 1, 10 * DEFAULT_MTU)
+        b.register_receiver(flow)
+        qp = a.start_flow(flow, TinyWindowButUnlimited(), us(10))
+        sim.run(until=us(40))  # before any ACK returns
+        assert qp.snd_nxt > 2 * DEFAULT_MTU
+
+
+class TestCcHooks:
+    def test_on_ack_called_per_ack(self, sim):
+        a, b = pair(sim)
+        cc = RecordingCc()
+        flow = Flow(0, 0, 1, 10_000)
+        b.register_receiver(flow)
+        a.start_flow(flow, cc, us(10))
+        sim.run()
+        assert cc.acks == b.receivers[0].data_packets
+
+    def test_on_flow_finish_called_once(self, sim):
+        a, b = pair(sim)
+        cc = RecordingCc()
+        flow = Flow(0, 0, 1, 1000)
+        b.register_receiver(flow)
+        a.start_flow(flow, cc, us(10))
+        sim.run()
+        assert cc.finished == 1
+
+
+class TestReliability:
+    def test_timeout_triggers_go_back_n(self, sim):
+        # No receiver wired at all: drop everything by pointing the flow at a
+        # host that swallows data?  Instead: break the wire by pausing the
+        # egress, so ACKs never come and the retx timer fires.
+        cfg = TransportConfig(retx_timeout_ps=us(100))
+        a, b = pair(sim, transport=cfg)
+        cc = RecordingCc()
+        flow = Flow(0, 0, 1, 50_000)
+        b.register_receiver(flow)
+        b.ports[0].pause(0)  # b cannot send ACKs back
+        qp = a.start_flow(flow, cc, us(10))
+        sim.run(until=us(350))
+        assert cc.timeouts >= 2
+        assert qp.timeouts >= 2
+        b.ports[0].resume(0)
+        sim.run(until=us(5000))
+        assert qp.finished  # recovered after the path healed
+
+    def test_out_of_order_dup_ack(self, sim):
+        a, b = pair(sim)
+        flow = Flow(0, 0, 1, 10_000)
+        b.register_receiver(flow)
+        rqp = b.receivers[0]
+        from repro.net.packet import DATA, Packet
+
+        # Inject an out-of-order packet directly.
+        rogue = Packet(DATA, flow_id=0, src=0, dst=1, seq=5000, size=1518, payload=1470)
+        rqp.on_data(rogue)
+        assert rqp.dup_acks_sent == 1
+        assert rqp.rcv_nxt == 0
+
+    def test_abort_stops_sending(self, sim):
+        a, b = pair(sim)
+        flow = Flow(0, 0, 1, 100 * DEFAULT_MTU)
+        b.register_receiver(flow)
+        qp = a.start_flow(flow, CongestionControl(), us(10))
+        sim.run(until=us(2))
+        qp.abort()
+        sent_at_abort = qp.snd_nxt
+        sim.run(until=us(100))
+        assert qp.snd_nxt == sent_at_abort
+        assert qp.finished
+
+
+class TestTransportConfigValidation:
+    def test_mtu_must_exceed_header(self):
+        with pytest.raises(ValueError):
+            TransportConfig(mtu=40, header_bytes=48)
+
+    def test_ack_every_positive(self):
+        with pytest.raises(ValueError):
+            TransportConfig(ack_every=0)
+
+    def test_max_payload(self):
+        assert TransportConfig(mtu=1518, header_bytes=48).max_payload == 1470
