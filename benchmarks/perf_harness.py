@@ -1,0 +1,120 @@
+"""Perf-trajectory harness for the packet hot path.
+
+Measures wall time and scheduler throughput of fixed, seeded paper
+scenarios so every PR has a comparable perf number.  Three scenarios mirror
+the figures that stress the hot path the hardest:
+
+* ``fig1_queue``  — one Fig. 1b cell (two elephants, dumbbell, FNCC).
+* ``fig9_micro``  — the Fig. 9 micro-benchmark scenario (FNCC @ 100G).
+* ``fig14_websearch`` — the Fig. 14 WebSearch FCT run on a k=4 fat-tree.
+
+Metrics per scenario (all medians over ``repeats`` runs after one warmup):
+
+* ``wall_s`` — wall-clock seconds for the scenario.
+* ``events`` / ``events_per_sec`` — scheduler dispatches.  NOTE: the
+  single-event link pipeline dispatches ~1 event per frame-hop where the
+  seed engine needed ~2.2, so ``events_per_sec`` is **not** comparable
+  across that change; ``frame_hops_per_sec`` and ``wall_s`` are.
+* ``frame_hops`` / ``frame_hops_per_sec`` — frames delivered across any
+  link (sum of per-port tx counters): the unit of simulated work, stable
+  across engine representations.  Speedups between trajectory entries
+  should be computed as ratios of ``wall_s`` (identical scenario) or
+  equivalently ``frame_hops_per_sec``.
+
+The trajectory file (``BENCH_hotpath.json``) is append-per-run: every
+invocation of ``tools/bench.py`` adds one entry, so the repo accumulates a
+measured perf history alongside the code history.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments.common import run_microbench
+from repro.experiments.fig14_websearch import run_fig14
+
+#: scenario name -> zero-arg callable returning a list of Simulator objects
+#: plus a list of Topology-like objects exposing per-port tx counters.
+ScenarioResult = Tuple[List[object], List[object]]  # (sims, topos)
+
+
+def _fig1_queue() -> ScenarioResult:
+    r = run_microbench("fncc", link_rate_gbps=100.0, duration_us=600.0, seed=1)
+    return [r.sim], [r.topo]
+
+
+def _fig9_micro() -> ScenarioResult:
+    r = run_microbench("fncc", link_rate_gbps=100.0, duration_us=700.0, seed=1)
+    return [r.sim], [r.topo]
+
+
+def _fig14_websearch() -> ScenarioResult:
+    results = run_fig14(ccs=("fncc",), n_flows=200, seed=1)
+    return [r.sim for r in results.values()], []
+
+
+SCENARIOS: Dict[str, Callable[[], ScenarioResult]] = {
+    "fig1_queue": _fig1_queue,
+    "fig9_micro": _fig9_micro,
+    "fig14_websearch": _fig14_websearch,
+}
+
+#: Scenarios exercised by ``tools/bench.py --quick`` (CI smoke).
+QUICK_SCENARIOS = ("fig9_micro",)
+
+
+def _frame_hops(topos: List[object]) -> int:
+    total = 0
+    for topo in topos:
+        for node in list(getattr(topo, "hosts", [])) + list(
+            getattr(topo, "switches", [])
+        ):
+            for port in node.ports:
+                total += port.stats.tx_packets
+    return total
+
+
+def measure_scenario(name: str, repeats: int = 3) -> Dict[str, float]:
+    """Run ``name`` ``repeats`` times (plus one untimed warmup) and return
+    the metric dict for one trajectory entry."""
+    fn = SCENARIOS[name]
+    fn()  # warmup: imports, routing tables, allocator steady state
+    walls: List[float] = []
+    events = 0
+    hops = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        sims, topos = fn()
+        walls.append(time.perf_counter() - t0)
+        events = sum(s.events_dispatched for s in sims)
+        hops = _frame_hops(topos)
+    wall = statistics.median(walls)
+    out = {
+        "wall_s": round(wall, 4),
+        "wall_min_s": round(min(walls), 4),
+        "events": events,
+        "events_per_sec": round(events / wall),
+    }
+    if hops:
+        out["frame_hops"] = hops
+        out["frame_hops_per_sec"] = round(hops / wall)
+    return out
+
+
+def measure_all(names=None, repeats: int = 3) -> Dict[str, Dict[str, float]]:
+    names = list(names) if names is not None else list(SCENARIOS)
+    return {name: measure_scenario(name, repeats=repeats) for name in names}
+
+
+def speedup(entry: Dict, baseline: Dict) -> Dict[str, float]:
+    """Per-scenario wall-time speedup of ``entry`` over ``baseline``
+    (identical scenarios, so wall ratio == simulated-work throughput
+    ratio)."""
+    out = {}
+    for name, m in entry.items():
+        base = baseline.get(name)
+        if base and base.get("wall_s"):
+            out[name] = round(base["wall_s"] / m["wall_s"], 3)
+    return out

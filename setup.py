@@ -1,5 +1,10 @@
-"""Legacy shim so editable installs work without the ``wheel`` package
-(this environment is offline).  All metadata lives in pyproject.toml."""
+"""Compatibility shim: all metadata lives in pyproject.toml.
+
+`pip install -e .` is the normal route (CI, any machine with `wheel`).
+Fully-offline environments without the `wheel` package can fall back to
+``python setup.py develop`` — the legacy egg-link editable install needs
+no wheel building.
+"""
 
 from setuptools import setup
 

@@ -122,9 +122,10 @@ class Hpcc(CongestionControl):
         t_ps = self.t_ps
         u_max = 0.0
         tau = 0  # falls back to the observed ACK interval of hop 0
-        prev_hop_u = list(self.hop_u)
-        hop_u = self.hop_u
-        hop_u.clear()
+        prev_hop_u = self.hop_u
+        n_prev_u = len(prev_hop_u)
+        hop_u: List[float] = []
+        self.hop_u = hop_u
         for i, (cur, old) in enumerate(zip(recs, prev)):
             dt = cur.ts - old.ts
             b_bytes_per_ps = cur.bandwidth_gbps / 8000.0
@@ -132,9 +133,12 @@ class Hpcc(CongestionControl):
                 tx_rate = (cur.tx_bytes - old.tx_bytes) / dt  # bytes/ps
                 if tau == 0:
                     tau = dt
-                qlen = min(cur.qlen, old.qlen)
+                qlen = cur.qlen  # min(cur, old), inlined
+                oq = old.qlen
+                if oq < qlen:
+                    qlen = oq
                 u_i = qlen / (b_bytes_per_ps * t_ps) + tx_rate / b_bytes_per_ps
-            elif i < len(prev_hop_u):
+            elif i < n_prev_u:
                 # Telemetry unchanged (e.g. a periodically refreshed
                 # All_INT_Table between refreshes): carry the hop forward.
                 u_i = prev_hop_u[i]

@@ -101,7 +101,7 @@ def install_rocc(
     for sw in switches:
         for idx in range(len(sw.ports)):
             ctrl = RoccPortController(sw, idx, config)
-            sw.port_controllers[idx] = ctrl
+            sw.port_controllers[idx] = ctrl  # dense list, slot per port
             ctrl.start()
             controllers.append(ctrl)
     return controllers

@@ -22,6 +22,11 @@ class PacketTap:
     >>> tap = PacketTap(host, kind=ACK, flow_id=3)
     >>> ... run ...
     >>> tap.count, tap.packets[0]
+
+    Tapping a *host* automatically parks its packet pool so captures stay
+    immutable.  Tapping an intermediate switch does not stop the terminal
+    hosts from recycling frames — for full-fidelity capture mid-path, build
+    the topology with ``pool_packets=False``.
     """
 
     def __init__(
@@ -41,6 +46,13 @@ class PacketTap:
         self.dropped = 0  # records beyond max_packets
         self._orig = node.receive
         self._installed = True
+        # Captured packets outlive their delivery callback, which is
+        # incompatible with frame recycling: park the node's packet pool
+        # (refcounted, restored when the last tap uninstalls).  See
+        # PacketPool ownership rules.
+        self._pool = getattr(node, "pkt_pool", None)
+        if self._pool is not None:
+            self._pool.pause_recycling()
         node.receive = self._spy  # type: ignore[method-assign]
 
     def _matches(self, pkt: Packet) -> bool:
@@ -61,9 +73,11 @@ class PacketTap:
         self._orig(pkt, in_port)
 
     def uninstall(self) -> None:
-        """Restore the node's original receive method."""
+        """Restore the node's original receive method (and packet pool)."""
         if self._installed:
             self.node.receive = self._orig  # type: ignore[method-assign]
+            if self._pool is not None:
+                self._pool.resume_recycling()
             self._installed = False
 
     # -- conveniences -----------------------------------------------------------

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.net.node import Node
-from repro.net.packet import ACK, CNP, DATA, PAUSE, RESUME, Packet
+from repro.net.packet import ACK, CNP, DATA, PAUSE, RESUME, Packet, PacketPool
 from repro.transport.receiver import ReceiverQP
 from repro.transport.sender import SenderQP, TransportConfig
 
@@ -33,11 +33,16 @@ class Host(Node):
         host_id: int,
         transport: Optional[TransportConfig] = None,
         cnp_enabled: bool = False,
+        pool_packets: bool = False,
     ) -> None:
         super().__init__(sim, name)
         self.host_id = host_id
         self.transport_config = transport or TransportConfig()
         self.cnp_enabled = cnp_enabled
+        # Frame free list.  Off by default so bare hosts (unit fixtures,
+        # spies that retain packets) keep immortal frames; the topology
+        # layer enables it for experiment fabrics.  See PacketPool docs.
+        self.pkt_pool = PacketPool(enabled=pool_packets)
         self.senders: Dict[int, SenderQP] = {}
         self.receivers: Dict[int, ReceiverQP] = {}
         self._active_inbound = 0
@@ -124,11 +129,14 @@ class Host(Node):
         elif kind == ACK:
             qp = self.senders.get(pkt.flow_id)
             if qp is not None:
-                qp.on_ack(pkt)
+                qp.on_ack(pkt)  # the QP recycles the ACK when done with it
+            else:
+                self.pkt_pool.release(pkt)
         elif kind == CNP:
             qp = self.senders.get(pkt.flow_id)
             if qp is not None:
                 qp.on_cnp()
+            self.pkt_pool.release(pkt)
         elif kind == PAUSE:
             self.ports[in_port].pause(pkt.pause_prio)
             self.ports[in_port].stats.pause_received += 1

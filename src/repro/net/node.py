@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.net.packet import Packet
 from repro.net.port import Port
@@ -24,8 +24,14 @@ class Node:
         self.name = name
         self.ports: List[Port] = []
 
-    def new_port(self, rate_gbps: float, prop_delay_ps: int, n_prio: int = 1) -> Port:
-        port = Port(self.sim, self, len(self.ports), rate_gbps, prop_delay_ps, n_prio)
+    def new_port(
+        self, rate_gbps: float, prop_delay_ps: int, n_prio: Optional[int] = None
+    ) -> Port:
+        """Create a port.  ``n_prio=None`` means "this node's default" (1
+        here; :class:`~repro.net.switch.Switch` substitutes its config)."""
+        port = Port(
+            self.sim, self, len(self.ports), rate_gbps, prop_delay_ps, n_prio or 1
+        )
         self.ports.append(port)
         return port
 

@@ -15,6 +15,9 @@ from __future__ import annotations
 from typing import List, Optional
 
 # Packet kinds --------------------------------------------------------------
+# Ordering invariant relied on by the port/switch hot paths: control kinds
+# (PFC PAUSE/RESUME) are exactly the values >= PAUSE, so "is this a control
+# frame" is a single integer compare.  Add new data kinds BELOW PAUSE.
 DATA: int = 0
 ACK: int = 1
 CNP: int = 2  # DCQCN congestion notification packet
@@ -94,6 +97,25 @@ class Packet:
         payload: int = 0,
         priority: int = 0,
     ) -> None:
+        self.reset(kind, flow_id, src, dst, seq, size, payload, priority)
+
+    def reset(
+        self,
+        kind: int,
+        flow_id: int = -1,
+        src: int = -1,
+        dst: int = -1,
+        seq: int = 0,
+        size: int = 0,
+        payload: int = 0,
+        priority: int = 0,
+    ) -> None:
+        """Re-initialize every field, as if freshly constructed.
+
+        Used by :class:`PacketPool` to recycle frames.  ``int_records`` is
+        dropped by reference, never cleared in place: receivers alias the
+        list into the ACK they build and HPCC retains it across ACKs.
+        """
         self.kind = kind
         self.flow_id = flow_id
         self.src = src
@@ -128,10 +150,120 @@ class Packet:
 
     def is_control(self) -> bool:
         """PFC frames bypass data queues and pause state."""
-        return self.kind == PAUSE or self.kind == RESUME
+        return self.kind >= PAUSE
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<{KIND_NAMES.get(self.kind, self.kind)} flow={self.flow_id} "
             f"seq={self.seq} size={self.size} {self.src}->{self.dst}>"
+        )
+
+
+class PacketPool:
+    """A per-host frame free list.
+
+    DATA/ACK/CNP frames are recycled at their terminal sink (the receiver QP
+    for DATA, the sender host for ACK/CNP) and re-issued by ``acquire``.
+    Ownership rules (DESIGN.md §hot-path): a packet belongs to exactly one
+    owner at a time; once ``release`` is called the frame must not be read
+    again.  Anything that retains packets past the delivery callback —
+    :class:`repro.metrics.tap.PacketTap`, ad-hoc test spies — must disable
+    the pool on the hosts it observes (``pool.enabled = False``), which
+    turns ``release`` into a no-op and restores allocate-per-frame
+    semantics.
+
+    Disabled is the default for bare :class:`~repro.net.host.Host`
+    construction; :class:`~repro.topo.base.Topology` enables pooling on the
+    hosts it builds, so experiments get the fast path and unit fixtures keep
+    immortal packets.
+    """
+
+    __slots__ = (
+        "_free",
+        "enabled",
+        "max_free",
+        "allocated",
+        "recycled",
+        "_tap_pauses",
+        "_was_enabled",
+    )
+
+    def __init__(self, enabled: bool = False, max_free: int = 8192) -> None:
+        self._free: List[Packet] = []
+        self.enabled = enabled
+        self.max_free = max_free
+        self.allocated = 0  # pool misses (fresh Packet constructions)
+        self.recycled = 0  # frames handed back via release()
+        self._tap_pauses = 0  # observers currently holding the pool off
+        self._was_enabled = enabled
+
+    # -- observer support -------------------------------------------------------
+    def pause_recycling(self) -> None:
+        """Observer (PacketTap & co.) wants immortal frames.  Refcounted:
+        the pool re-enables only when the *last* observer resumes."""
+        if self._tap_pauses == 0:
+            self._was_enabled = self.enabled
+        self._tap_pauses += 1
+        self.enabled = False
+
+    def resume_recycling(self) -> None:
+        if self._tap_pauses > 0:
+            self._tap_pauses -= 1
+            if self._tap_pauses == 0 and self._was_enabled:
+                self.enabled = True
+
+    def acquire(
+        self,
+        kind: int,
+        flow_id: int = -1,
+        src: int = -1,
+        dst: int = -1,
+        seq: int = 0,
+        size: int = 0,
+        payload: int = 0,
+        priority: int = 0,
+    ) -> Packet:
+        free = self._free
+        if free:
+            pkt = free.pop()
+            # Packet.reset's body, flattened (keep the field list in sync):
+            # one Python call per recycled frame is real money at this rate.
+            pkt.kind = kind
+            pkt.flow_id = flow_id
+            pkt.src = src
+            pkt.dst = dst
+            pkt.seq = seq
+            pkt.size = size
+            pkt.payload = payload
+            pkt.priority = priority
+            pkt.ecn = False
+            pkt.ecn_echo = False
+            pkt.int_records = None
+            pkt.n_flows = 0
+            pkt.rocc_rate_gbps = None
+            pkt.last = False
+            pkt.sent_ts = 0
+            pkt.echo_sent_ts = 0
+            pkt.in_port = -1
+            pkt.fncc_in_port = -1
+            pkt.pause_prio = 0
+            pkt.hops = 0
+            return pkt
+        self.allocated += 1
+        return Packet(kind, flow_id, src, dst, seq, size, payload, priority)
+
+    def release(self, pkt: Packet) -> None:
+        """Hand a dead frame back for reuse (no-op when disabled)."""
+        if self.enabled:
+            free = self._free
+            if len(free) < self.max_free:
+                pkt.int_records = None  # drop the aliased telemetry list
+                self.recycled += 1
+                free.append(pkt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "on" if self.enabled else "off"
+        return (
+            f"<PacketPool {state} free={len(self._free)} "
+            f"alloc={self.allocated} recycled={self.recycled}>"
         )

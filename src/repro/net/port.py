@@ -1,24 +1,48 @@
-"""Full-duplex port with an egress queue engine.
+"""Full-duplex port with an arithmetic egress transmitter.
 
 A :class:`Port` is one end of a wire.  Its egress side owns per-priority
 FIFO queues, the PFC pause state for each priority, RED/ECN marking, and the
 cumulative ``tx_bytes`` counter that INT exposes.  Its ingress side simply
 forwards delivered packets to the owning node.
 
-Store-and-forward timing: a packet occupying the head of the queue holds the
-transmitter for ``serialization_ps(size, rate)``, then arrives at the peer
-``prop_delay_ps`` later.  PFC pause takes effect at frame boundaries (the
-in-flight frame always completes), per IEEE 802.1Qbb.
+Hot-path design (DESIGN.md §hot-path): instead of the classic
+``kick → tx-done → deliver`` two-event chain, the transmitter is
+*arithmetic*.  ``next_free_ps`` tracks when the serializer frees up; every
+transmittable frame is committed to the wire at enqueue time — its start
+(``max(now, next_free_ps)``), finish (``start + serialization``) and
+arrival (``finish + propagation``) are computed immediately and the frame
+joins the in-flight FIFO.  Because per-link arrivals are strictly ordered,
+the port keeps exactly **one** outstanding scheduler event, armed for the
+head of that FIFO and re-armed from its own callback
+(:meth:`Simulator.schedule_reuse`) — one event dispatch per frame, a heap
+that stays a few entries deep, and zero event churn when PFC re-sequences
+the wire.  Departure-side bookkeeping (tx counters, INT stamping,
+PFC/buffer release via ``node.on_departure``) piggybacks on the delivery
+event.
+
+Store-and-forward timing is unchanged: a frame occupies the transmitter for
+``serialization_ps(size, rate)`` and arrives at the peer ``prop_delay_ps``
+after its serialization finishes.  PFC pause still takes effect at frame
+boundaries, per IEEE 802.1Qbb: the frame being serialized when XOFF arrives
+always completes; frames committed beyond ``now`` are *uncommitted* — they
+leave the in-flight FIFO and return to their priority queues — and the
+survivors are recommitted under the new pause mask.
+
+Queue-length accounting is lazy: committed frames whose serialization has
+not started yet still count as backlog; :meth:`Port._prune` retires
+accounting entries as the clock passes their start times, so
+``qbytes_total`` reads exactly what the old eager engine reported (waiting
+bytes, excluding the frame in service) at amortized O(1) per frame.
 """
 
 from __future__ import annotations
 
 import random
 from collections import deque
+from heapq import heappush
 from typing import TYPE_CHECKING, List, Optional
 
-from repro.net.packet import DATA, Packet
-from repro.units import serialization_ps
+from repro.net.packet import DATA, PAUSE, Packet
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.node import Node
@@ -54,32 +78,55 @@ class EcnConfig:
 
 
 class PortStats:
-    """Per-port counters surfaced to the metrics layer."""
+    """Per-port counters surfaced to the metrics layer.
+
+    The per-frame tx/rx counters live directly on the :class:`Port` (one
+    attribute store per frame-hop instead of an extra object indirection);
+    this view exposes them under the traditional names.  Cold-path counters
+    (PFC, drops, ECN, watermark) are plain fields here.
+    """
 
     __slots__ = (
-        "tx_packets",
-        "tx_bytes",
-        "rx_packets",
-        "rx_bytes",
+        "_port",
         "pause_sent",
         "resume_sent",
         "pause_received",
         "drops",
         "ecn_marked",
-        "max_qlen",
     )
 
-    def __init__(self) -> None:
-        self.tx_packets = 0
-        self.tx_bytes = 0
-        self.rx_packets = 0
-        self.rx_bytes = 0
+    def __init__(self, port: "Port") -> None:
+        self._port = port
         self.pause_sent = 0
         self.resume_sent = 0
         self.pause_received = 0
         self.drops = 0
         self.ecn_marked = 0
-        self.max_qlen = 0
+
+    @property
+    def tx_packets(self) -> int:
+        return self._port.tx_packets
+
+    @property
+    def tx_bytes(self) -> int:
+        return self._port.tx_bytes
+
+    @property
+    def rx_packets(self) -> int:
+        return self._port.rx_packets
+
+    @property
+    def rx_bytes(self) -> int:
+        return self._port.rx_bytes
+
+    @property
+    def max_qlen(self) -> int:
+        return self._port.max_qlen
+
+
+#: Priority tag for control frames in the commit bookkeeping: PFC frames
+#: never count toward data backlog and outrank every data class.
+CTRL_PRIO = -1
 
 
 class Port:
@@ -95,14 +142,23 @@ class Port:
         "n_prio",
         "queues",
         "qbytes",
-        "qbytes_total",
         "ctrl",
-        "busy",
         "paused",
         "tx_bytes",
+        "tx_packets",
+        "rx_packets",
+        "rx_bytes",
+        "max_qlen",
         "stats",
         "ecn",
         "ecn_rng",
+        "next_free_ps",
+        "_inflight",
+        "_acct",
+        "_queued_bytes",
+        "_uncommitted",
+        "_del_ev",
+        "_departure_hook",
     )
 
     def __init__(
@@ -129,14 +185,35 @@ class Port:
         self.n_prio = n_prio
         self.queues: List[deque] = [deque() for _ in range(n_prio)]
         self.qbytes: List[int] = [0] * n_prio
-        self.qbytes_total = 0
         self.ctrl: deque = deque()  # PFC frames bypass data queues
-        self.busy = False
         self.paused: List[bool] = [False] * n_prio
         self.tx_bytes = 0  # cumulative, exposed via INT
-        self.stats = PortStats()
+        self.tx_packets = 0
+        self.rx_packets = 0
+        self.rx_bytes = 0
+        self.max_qlen = 0  # backlog high watermark (stats.max_qlen view)
+        self.stats = PortStats(self)
         self.ecn: Optional[EcnConfig] = None
         self.ecn_rng: Optional[random.Random] = None
+        self.next_free_ps = 0  # when the serializer frees up
+        # Committed frames, in service order: (arrival_ps, pkt).  The single
+        # delivery event (_del_ev) is armed for the head entry.
+        self._inflight: deque = deque()
+        # Backlog bookkeeping for committed frames: (start_ps, size, prio,
+        # pkt).  Entries with start <= now are lazily retired by _prune; the
+        # start > now suffix mirrors the tail of _inflight (the frames a PFC
+        # XOFF may still uncommit).
+        self._acct: deque = deque()
+        self._queued_bytes = 0  # waiting bytes across queues + pending commits
+        self._uncommitted = 0  # frames parked in queues/ctrl (pause, re-seq)
+        self._del_ev = None
+        # Skip the per-frame on_departure call entirely for nodes that keep
+        # the base no-op hook (hosts, test sinks); bound once at wiring.
+        from repro.net.node import Node as _Node
+
+        self._departure_hook = (
+            None if type(node).on_departure is _Node.on_departure else node.on_departure
+        )
 
     # -- configuration --------------------------------------------------------
     def set_ecn(self, cfg: Optional[EcnConfig], rng: Optional[random.Random]) -> None:
@@ -145,77 +222,226 @@ class Port:
         self.ecn = cfg
         self.ecn_rng = rng
 
+    # -- backlog accounting ----------------------------------------------------
+    def _prune(self, now: int) -> None:
+        """Retire accounting entries whose serialization has started."""
+        acct = self._acct
+        if not acct:
+            return
+        qb = self.qbytes
+        while acct:
+            e = acct[0]
+            if e[0] > now:
+                break
+            acct.popleft()
+            size = e[1]
+            if size:
+                qb[e[2]] -= size
+                self._queued_bytes -= size
+
+    @property
+    def qbytes_total(self) -> int:
+        """Current egress backlog in bytes (waiting frames, excluding the
+        one in service — the Fig. 9 'queue length')."""
+        acct = self._acct
+        if acct and acct[0][0] <= self.sim.now:
+            self._prune(self.sim.now)
+        return self._queued_bytes
+
     # -- egress ----------------------------------------------------------------
     def enqueue(self, pkt: Packet) -> None:
         """Queue a frame for transmission (control frames jump the queue)."""
         if self.peer is None:
             raise RuntimeError(f"port {self!r} is not wired")
-        if pkt.is_control():
+        now = self.sim.now
+        acct = self._acct
+        if acct and acct[0][0] <= now:
+            self._prune(now)
+        kind = pkt.kind
+        if kind >= PAUSE:  # control frame, inline is_control()
             self.ctrl.append(pkt)
-        else:
+            self._uncommitted += 1
+            if self._acct:
+                # Pending data frames hold later wire slots; control jumps
+                # them at the next frame boundary.
+                self._uncommit_pending(now)
+            self._commit(now)
+            return
+        prio = pkt.priority
+        size = pkt.size
+        if (
+            self._uncommitted == 0
+            and not self.paused[prio]
+            and (not acct or prio >= acct[-1][2])
+        ):
+            # Fast path (idle *and* steady backlogged ports): nothing is
+            # parked in the queues, the new frame's class is transmittable,
+            # and strict priority puts it behind every pending commit — so
+            # commit it at the wire tail without a deque round-trip.
+            qt = self._queued_bytes
             ecn = self.ecn
-            if ecn is not None and pkt.kind == DATA and not pkt.ecn:
-                p = ecn.mark_probability(self.qbytes_total)
+            if qt and ecn is not None and kind == DATA and not pkt.ecn:
+                p = ecn.mark_probability(qt)
                 if p > 0.0 and (p >= 1.0 or self.ecn_rng.random() < p):
                     pkt.ecn = True
                     self.stats.ecn_marked += 1
-            prio = pkt.priority
-            self.queues[prio].append(pkt)
-            self.qbytes[prio] += pkt.size
-            self.qbytes_total += pkt.size
-            if self.qbytes_total > self.stats.max_qlen:
-                self.stats.max_qlen = self.qbytes_total
-        if not self.busy:
-            self._kick()
+            nf = self.next_free_ps
+            start = nf if nf > now else now
+            # Inline serialization_ps: same expression, same rounding.
+            nf = start + round(size * 8000 / self.rate_gbps)
+            inflight = self._inflight
+            inflight.append((nf + self.prop_delay_ps, pkt))
+            self.next_free_ps = nf
+            if start > now:
+                acct.append((start, size, prio, pkt))
+                self.qbytes[prio] += size
+                qt = self._queued_bytes = qt + size
+                if qt > self.max_qlen:
+                    self.max_qlen = qt
+            if self._del_ev is None:
+                self._del_ev = self.sim.schedule_at(
+                    inflight[0][0], self._tx_deliver, None
+                )
+            return
+        ecn = self.ecn
+        if ecn is not None and kind == DATA and not pkt.ecn:
+            p = ecn.mark_probability(self._queued_bytes)
+            if p > 0.0 and (p >= 1.0 or self.ecn_rng.random() < p):
+                pkt.ecn = True
+                self.stats.ecn_marked += 1
+        self.queues[prio].append(pkt)
+        self._uncommitted += 1
+        self.qbytes[prio] += size
+        qt = self._queued_bytes = self._queued_bytes + size
+        if qt > self.max_qlen:
+            self.max_qlen = qt
+        if acct and prio < acct[-1][2]:
+            # A stricter priority arrived behind softer pending commits:
+            # re-sequence at the frame boundary.
+            self._uncommit_pending(now)
+        self._commit(now)
 
     def pause(self, prio: int) -> None:
         """PFC XOFF for one priority (in-flight frame completes)."""
         self.paused[prio] = True
+        now = self.sim.now
+        if self._acct:
+            self._prune(now)
+        if self._acct:
+            # Uncommit everything past the frame boundary and recommit the
+            # survivors (control + unpaused priorities) under the new mask.
+            self._uncommit_pending(now)
+            self._commit(now)
 
     def resume(self, prio: int) -> None:
         """PFC XON; restart the transmitter if it was starved."""
         self.paused[prio] = False
-        if not self.busy:
-            self._kick()
-
-    def _select(self) -> Optional[Packet]:
-        """Strict priority: control first, then lowest priority index."""
-        if self.ctrl:
-            return self.ctrl.popleft()
-        for prio in range(self.n_prio):
-            if self.paused[prio]:
-                continue
-            q = self.queues[prio]
-            if q:
-                pkt = q.popleft()
-                self.qbytes[prio] -= pkt.size
-                self.qbytes_total -= pkt.size
-                return pkt
-        return None
-
-    def _kick(self) -> None:
-        pkt = self._select()
-        if pkt is None:
+        if not self.queues[prio]:
             return
-        self.busy = True
-        self.sim.schedule(serialization_ps(pkt.size, self.rate_gbps), self._tx_done, pkt)
+        now = self.sim.now
+        if self._acct:
+            self._prune(now)
+            self._uncommit_pending(now)
+        self._commit(now)
 
-    def _tx_done(self, pkt: Packet) -> None:
+    def _uncommit_pending(self, now: int) -> None:
+        """Return every committed-but-not-started frame to its queue,
+        preserving order.  Caller must have pruned first, so the whole
+        ``_acct`` deque is the pending set — which also mirrors the tail of
+        ``_inflight``.  The head of ``_inflight`` (the frame in service, if
+        any) is untouched, so the armed delivery event stays valid."""
+        acct = self._acct
+        if not acct:
+            return
+        # Pending frames chain back-to-back behind the in-flight frame, so
+        # the first pending start is exactly when the serializer frees up.
+        self.next_free_ps = acct[0][0]
+        inflight = self._inflight
+        ctrl = self.ctrl
+        queues = self.queues
+        while acct:
+            start, size, prio, pkt = acct.pop()
+            inflight.pop()  # same frame, tail position mirrors _acct
+            self._uncommitted += 1
+            if prio == CTRL_PRIO:
+                ctrl.appendleft(pkt)
+            else:
+                queues[prio].appendleft(pkt)
+
+    def _commit(self, now: int) -> None:
+        """Commit every currently transmittable frame to the wire
+        arithmetically and make sure the single delivery event is armed."""
+        nf = self.next_free_ps
+        if nf < now:
+            nf = now
+        rate = self.rate_gbps
+        prop = self.prop_delay_ps
+        acct = self._acct
+        inflight = self._inflight
+        ctrl = self.ctrl
+        while ctrl:
+            pkt = ctrl.popleft()
+            self._uncommitted -= 1
+            start = nf
+            # Inline serialization_ps: same expression, same rounding.
+            nf = start + round(pkt.size * 8000 / rate)
+            inflight.append((nf + prop, pkt))
+            if start > now:
+                acct.append((start, 0, CTRL_PRIO, pkt))
+        queues = self.queues
+        paused = self.paused
+        qb = self.qbytes
+        for prio in range(self.n_prio):
+            if paused[prio]:
+                continue
+            q = queues[prio]
+            while q:
+                pkt = q.popleft()
+                self._uncommitted -= 1
+                size = pkt.size
+                start = nf
+                nf = start + round(size * 8000 / rate)
+                inflight.append((nf + prop, pkt))
+                if start > now:
+                    acct.append((start, size, prio, pkt))
+                else:  # started immediately: no longer backlog
+                    qb[prio] -= size
+                    self._queued_bytes -= size
+        self.next_free_ps = nf
+        if self._del_ev is None and inflight:
+            self._del_ev = self.sim.schedule_at(inflight[0][0], self._tx_deliver, None)
+
+    def _tx_deliver(self, _arg) -> None:
+        """The per-frame delivery event: departure bookkeeping on this port,
+        ingress at the peer, then re-arm for the next in-flight frame."""
+        inflight = self._inflight
+        pkt = inflight.popleft()[1]
         self.tx_bytes += pkt.size
-        self.stats.tx_packets += 1
-        self.stats.tx_bytes += pkt.size
+        self.tx_packets += 1
         # Node hook: INT stamping (switch), PFC ingress-counter release.
-        self.node.on_departure(pkt, self)
-        self.sim.schedule(self.prop_delay_ps, self.peer._deliver, pkt)
-        self.busy = False
-        self._kick()
-
-    # -- ingress ----------------------------------------------------------------
-    def _deliver(self, pkt: Packet) -> None:
-        self.stats.rx_packets += 1
-        self.stats.rx_bytes += pkt.size
-        pkt.in_port = self.index
-        self.node.receive(pkt, self.index)
+        hook = self._departure_hook
+        if hook is not None:
+            hook(pkt, self)
+        peer = self.peer
+        peer.rx_packets += 1
+        peer.rx_bytes += pkt.size  # after on_departure: INT bytes included
+        pkt.in_port = peer.index
+        peer.node.receive(pkt, peer.index)
+        if inflight:
+            # Simulator.schedule_reuse's body, flattened: this runs once per
+            # frame-hop, inside our own dispatched event (the documented
+            # reuse contract), and per-link arrivals are monotonic so the
+            # negative-delay guard is structurally unneeded.
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            ev = self._del_ev
+            ev.time = time = inflight[0][0]
+            ev.seq = seq
+            ev.key = key = (time << 44) | seq
+            ev.alive = True
+            heappush(sim._heap, (key, ev))
+        else:
+            self._del_ev = None
 
     # -- introspection ------------------------------------------------------------
     @property
@@ -224,7 +450,7 @@ class Port:
         return self.qbytes_total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Port {self.node.name}.{self.index} {self.rate_gbps}G q={self.qbytes_total}B>"
+        return f"<Port {self.node.name}.{self.index} {self.rate_gbps}G q={self._queued_bytes}B>"
 
 
 def connect(
@@ -233,9 +459,12 @@ def connect(
     b: "Node",
     rate_gbps: float,
     prop_delay_ps: int,
-    n_prio: int = 1,
+    n_prio: Optional[int] = None,
 ) -> tuple:
-    """Wire two nodes with a full-duplex link; returns ``(port_a, port_b)``."""
+    """Wire two nodes with a full-duplex link; returns ``(port_a, port_b)``.
+
+    ``n_prio=None`` lets each node pick its own default (plain nodes use 1,
+    switches use their config's ``n_prio``)."""
     pa = a.new_port(rate_gbps, prop_delay_ps, n_prio=n_prio)
     pb = b.new_port(rate_gbps, prop_delay_ps, n_prio=n_prio)
     pa.peer = pb

@@ -17,7 +17,7 @@ data queues and pause state.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.net.node import Node
 from repro.net.packet import ACK, CNP, DATA, PAUSE, RESUME, INTRecord, Packet
@@ -97,23 +97,49 @@ class Switch(Node):
     def __init__(self, sim: "Simulator", name: str, config: SwitchConfig) -> None:
         super().__init__(sim, name)
         self.config = config
+        # Hot-path caches: SwitchConfig is immutable after construction, so
+        # the per-hop data path reads these flat attributes instead of
+        # chasing the config chain.
+        self._latency_ps = config.latency_ps
+        self._buffer_bytes = config.buffer_bytes
+        self._pfc_on = config.pfc_enabled
+        self._xoff = config.pfc_xoff
+        self._xon = config.pfc_xon
+        self._int_mode = config.int_mode
         self.router: Optional[Callable[["Switch", Packet], int]] = None
         self.buffer_used = 0
         self.drops = 0
         # PFC state, keyed [in_port][prio].
         self._pfc_bytes: List[List[int]] = []
         self._pfc_paused_up: List[List[bool]] = []
-        # RoCC-style per-egress-port fair-rate controllers (installed by cc.rocc).
-        self.port_controllers: Dict[int, object] = {}
+        # RoCC-style per-egress-port fair-rate controllers (installed by
+        # cc.rocc).  Dense list indexed by port — the per-ACK departure hook
+        # does a plain index instead of a dict hash.
+        self.port_controllers: List[Optional[object]] = []
         # Optional snapshot table (int_table_refresh_ps > 0).
         self._int_snapshot: Optional[List[INTRecord]] = None
         self._ecn_rng = None
 
     # -- wiring ------------------------------------------------------------------
-    def new_port(self, rate_gbps: float, prop_delay_ps: int, n_prio: int = 1) -> Port:
+    def new_port(
+        self, rate_gbps: float, prop_delay_ps: int, n_prio: Optional[int] = None
+    ) -> Port:
+        """Create a port with the switch's configured priority count.
+
+        ``n_prio=None`` (the default) means "use ``config.n_prio``".  An
+        explicit value must match the config: the switch's PFC state arrays
+        are sized by ``config.n_prio``, so a divergent per-port override
+        would silently mis-index pause bookkeeping.
+        """
+        if n_prio is not None and n_prio != self.config.n_prio:
+            raise ValueError(
+                f"{self.name}: port n_prio={n_prio} conflicts with "
+                f"switch config n_prio={self.config.n_prio}"
+            )
         port = super().new_port(rate_gbps, prop_delay_ps, n_prio=self.config.n_prio)
         self._pfc_bytes.append([0] * self.config.n_prio)
         self._pfc_paused_up.append([False] * self.config.n_prio)
+        self.port_controllers.append(None)
         if self.config.ecn is not None:
             if self._ecn_rng is None:
                 raise RuntimeError(
@@ -142,22 +168,49 @@ class Switch(Node):
     # -- data path ------------------------------------------------------------------
     def receive(self, pkt: Packet, in_port: int) -> None:
         kind = pkt.kind
-        if kind == PAUSE:
-            self.ports[in_port].pause(pkt.pause_prio)
-            self.ports[in_port].stats.pause_received += 1
-            return
-        if kind == RESUME:
-            self.ports[in_port].resume(pkt.pause_prio)
+        if kind >= PAUSE:  # control frame (single compare on the data path)
+            p = self.ports[in_port]
+            if kind == PAUSE:
+                p.pause(pkt.pause_prio)
+                p.stats.pause_received += 1
+            else:
+                p.resume(pkt.pause_prio)
             return
         # Alg. 1 line 3: the ACK's input port is recorded as metadata.  (The
         # same metadata drives RoCC's fair-rate stamping, so record always.)
         if kind == ACK:
             pkt.fncc_in_port = in_port
         pkt.hops += 1
-        if self.config.latency_ps > 0:
-            self.sim.schedule(self.config.latency_ps, self._forward, pkt)
-        else:
-            self._forward(pkt)
+        lat = self._latency_ps
+        if lat > 0:
+            self.sim.schedule(lat, self._forward, pkt)
+            return
+        # Zero-latency fast path: _forward's body inlined (one Python call
+        # per packet-hop saved; the latency>0 branch keeps the method).
+        router = self.router
+        if router is None:
+            raise RuntimeError(f"switch {self.name} has no routing installed")
+        out_port = router(self, pkt)
+        in_p = pkt.in_port
+        if out_port == in_p:
+            raise RuntimeError(
+                f"{self.name}: routing loop, {pkt!r} back out port {out_port}"
+            )
+        size = pkt.size
+        if self.buffer_used + size > self._buffer_bytes:  # shared-buffer admission
+            self.drops += 1
+            self.ports[in_p].stats.drops += 1
+            return
+        self.buffer_used += size
+        if self._pfc_on and kind < PAUSE:  # non-control, single compare
+            # _pfc_admit inlined (per-hop hot path).
+            prio = pkt.priority
+            counters = self._pfc_bytes[in_p]
+            counters[prio] += size
+            if counters[prio] >= self._xoff and not self._pfc_paused_up[in_p][prio]:
+                self._pfc_paused_up[in_p][prio] = True
+                self._send_pfc(in_p, prio, PAUSE)
+        self.ports[out_port].enqueue(pkt)
 
     def _forward(self, pkt: Packet) -> None:
         if self.router is None:
@@ -178,22 +231,64 @@ class Switch(Node):
         self.ports[out_port].enqueue(pkt)
 
     def on_departure(self, pkt: Packet, port: Port) -> None:
-        self.buffer_used -= pkt.size
-        if self.config.pfc_enabled and not pkt.is_control():
-            self._pfc_release(pkt)
-        mode = self.config.int_mode
+        size = pkt.size
+        self.buffer_used -= size
+        kind = pkt.kind
+        if self._pfc_on and kind < PAUSE:  # non-control, single compare
+            # _pfc_release inlined (per-hop hot path).
+            in_p, prio = pkt.in_port, pkt.priority
+            counters = self._pfc_bytes[in_p]
+            counters[prio] -= size
+            if counters[prio] <= self._xon and self._pfc_paused_up[in_p][prio]:
+                self._pfc_paused_up[in_p][prio] = False
+                self._send_pfc(in_p, prio, RESUME)
+        mode = self._int_mode
         if mode is IntMode.HPCC:
-            if pkt.kind == DATA:
-                pkt.add_int(
-                    INTRecord(port.rate_gbps, self.sim.now, port.tx_bytes, port.qbytes_total)
+            if kind == DATA:
+                # add_int + qbytes_total inlined (per-hop hot path).
+                now = self.sim.now
+                acct = port._acct
+                if acct and acct[0][0] <= now:
+                    port._prune(now)
+                rec = INTRecord(
+                    port.rate_gbps, now, port.tx_bytes, port._queued_bytes
                 )
+                recs = pkt.int_records
+                if recs is None:
+                    pkt.int_records = [rec]
+                else:
+                    recs.append(rec)
                 pkt.size += INT_RECORD_BYTES
         elif mode is IntMode.FNCC:
-            if pkt.kind == ACK:
-                pkt.add_int(self._int_table_entry(pkt.fncc_in_port))
+            if kind == ACK:
+                # _int_table_entry + add_int inlined (per-ACK-hop hot path);
+                # the record is built via __new__ to skip one Python call.
+                snap = self._int_snapshot
+                rec = INTRecord.__new__(INTRecord)
+                if snap is not None:
+                    s = snap[pkt.fncc_in_port]
+                    rec.bandwidth_gbps = s.bandwidth_gbps
+                    rec.ts = s.ts
+                    rec.tx_bytes = s.tx_bytes
+                    rec.qlen = s.qlen
+                else:
+                    p = self.ports[pkt.fncc_in_port]
+                    now = self.sim.now
+                    acct = p._acct
+                    if acct and acct[0][0] <= now:
+                        p._prune(now)
+                    rec.bandwidth_gbps = p.rate_gbps
+                    rec.ts = now
+                    rec.tx_bytes = p.tx_bytes
+                    rec.qlen = p._queued_bytes
+                recs = pkt.int_records
+                if recs is None:
+                    pkt.int_records = [rec]
+                else:
+                    recs.append(rec)
                 pkt.size += INT_RECORD_BYTES
-        if self.port_controllers and pkt.kind == ACK and pkt.fncc_in_port >= 0:
-            ctrl = self.port_controllers.get(pkt.fncc_in_port)
+        if kind == ACK and pkt.fncc_in_port >= 0:
+            ctrl = self.port_controllers[pkt.fncc_in_port]
             if ctrl is not None:
                 rate = ctrl.fair_rate_gbps
                 if pkt.rocc_rate_gbps is None or rate < pkt.rocc_rate_gbps:

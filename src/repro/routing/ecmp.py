@@ -27,28 +27,56 @@ def install_ecmp(
     """Compute tables and attach an ECMP router to every switch."""
     rt = build_graph_tables(topo)
     tables = rt.tables
+    # The five-tuple hash is flow-invariant, so compute it once per flow and
+    # memoize: the per-packet router then costs one dict hit plus a modulo.
+    # Keys carry the full canonical tuple — flow ids are only unique per
+    # host, so (src, dst) must participate or two flows sharing an id
+    # between different host pairs would alias.
+    hash_cache: dict = {}
 
-    if symmetric:
+    def make_router(sw_tables):
+        # Pre-split each destination entry into (ports, n) — single-port
+        # entries collapse to the bare index — so the per-packet path does
+        # no len() call.
+        split = {
+            dst: (ports[0] if len(ports) == 1 else (tuple(ports), len(ports)))
+            for dst, ports in sw_tables.items()
+        }
+        if symmetric:
 
-        def router(sw: "Switch", pkt: "Packet") -> int:
-            ports = tables[sw.name][pkt.dst]
-            n = len(ports)
-            if n == 1:
-                return ports[0]
-            a, b = pkt.src, pkt.dst
-            if a > b:
-                a, b = b, a
-            return ports[stable_hash64(a, b, pkt.flow_id, salt) % n]
+            def router(sw: "Switch", pkt: "Packet") -> int:
+                entry = split[pkt.dst]
+                if type(entry) is int:
+                    return entry
+                ports, n = entry
+                a, b = pkt.src, pkt.dst
+                if a > b:
+                    a, b = b, a
+                key = (a, b, pkt.flow_id)
+                h = hash_cache.get(key)
+                if h is None:
+                    h = hash_cache[key] = stable_hash64(a, b, pkt.flow_id, salt)
+                return ports[h % n]
 
-    else:
+        else:
 
-        def router(sw: "Switch", pkt: "Packet") -> int:
-            ports = tables[sw.name][pkt.dst]
-            n = len(ports)
-            if n == 1:
-                return ports[0]
-            return ports[stable_hash64(pkt.src, pkt.dst, pkt.flow_id, salt) % n]
+            def router(sw: "Switch", pkt: "Packet") -> int:
+                entry = split[pkt.dst]
+                if type(entry) is int:
+                    return entry
+                ports, n = entry
+                key = (pkt.src, pkt.dst, pkt.flow_id)
+                h = hash_cache.get(key)
+                if h is None:
+                    h = hash_cache[key] = stable_hash64(
+                        pkt.src, pkt.dst, pkt.flow_id, salt
+                    )
+                return ports[h % n]
+
+        return router
 
     for sw in topo.switches:
-        sw.router = router
+        # Bind each switch's table slice once instead of re-resolving
+        # tables[sw.name] on every packet-hop.
+        sw.router = make_router(tables[sw.name])
     return rt

@@ -5,18 +5,40 @@ Design notes
 * Time is an integer picosecond count (see :mod:`repro.units`).  Integer
   timestamps make the event order total and deterministic: ties are broken
   by insertion sequence number.
-* Events are plain tuples ``(time, seq, event)`` in a ``heapq``; ``event``
-  is a small :class:`Event` carrying the callback.  Cancellation marks the
-  event dead instead of removing it from the heap (lazy deletion), which is
-  both simpler and faster for the cancel-rarely workloads of a network sim.
+* :class:`Event` is orderable (``__lt__`` on its packed ``(time, seq)``
+  key); the heap stores ``(key, event)`` pairs so every sift comparison is
+  a single C-speed int compare — at the heap depths of fat-tree scenarios
+  (hundreds of armed ports and timers) this beats both the legacy
+  3-tuple-of-fields representation and Python-level ``__lt__`` dispatch.
+  Cancellation marks the event dead instead of removing it from the heap
+  (lazy deletion), which is both simpler and faster for the cancel-rarely
+  workloads of a network sim.
+* Dispatched and lazily-deleted events are recycled through a free list, so
+  steady-state scheduling allocates ~zero objects.  Ownership rule (see
+  DESIGN.md §hot-path): an :class:`Event` handle returned by ``schedule``
+  is valid until its callback has run or it has been cancelled; holding it
+  past that point (and in particular calling :meth:`Event.cancel` on it
+  later) is undefined because the object may have been recycled for an
+  unrelated event.  :class:`repro.sim.timer.Timer` is the safe wrapper for
+  re-armable timeouts.
+* ``schedule_reuse`` is the self-rescheduling fast path: a callback may
+  re-arm *its own* event object (the one currently being dispatched)
+  without a pool round-trip.  Calling it on any event that is still in the
+  heap corrupts the queue — :class:`repro.sim.timer.Periodic` is the
+  canonical user.
 * Callbacks receive a single ``arg`` payload.  We intentionally do not
-  support ``*args``: one tuple allocation per event is the hot-path budget.
+  support ``*args``: one payload slot per event is the hot-path budget.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
+
+#: Upper bound on the event free list; beyond this, dead events are left to
+#: the garbage collector.  Big enough for the deepest egress backlogs seen
+#: in the paper scenarios, small enough to be irrelevant for memory.
+_POOL_MAX = 8192
 
 
 class SimulationError(RuntimeError):
@@ -27,19 +49,32 @@ class Event:
     """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
 
     The only public operation is :meth:`cancel`; everything else is owned by
-    the engine.
+    the engine.  Handles must not be cancelled after their callback has run
+    (the object may have been recycled — see the module docstring).
+
+    Ordering is by ``(time, seq)``, packed into the single integer ``key``
+    (``time << 44 | seq``) so the heap's ``__lt__`` is one C-speed int
+    compare instead of a two-field lexicographic test.  44 bits of sequence
+    space is ~17.6 trillion events per run — far beyond any scenario — and
+    time fits the remaining headroom of Python's unbounded ints exactly.
     """
 
-    __slots__ = ("time", "fn", "arg", "alive")
+    __slots__ = ("time", "seq", "key", "fn", "arg", "alive")
 
-    def __init__(self, time: int, fn: Callable[[Any], None], arg: Any) -> None:
+    def __init__(self, time: int, seq: int, fn: Callable[[Any], None], arg: Any) -> None:
         self.time = time
+        self.seq = seq
+        self.key = (time << 44) | seq
         self.fn = fn
         self.arg = arg
         self.alive = True
 
+    def __lt__(self, other: "Event") -> bool:
+        return self.key < other.key
+
     def cancel(self) -> None:
-        """Prevent the callback from running.  Safe to call repeatedly."""
+        """Prevent the callback from running.  Safe to call repeatedly on a
+        live handle."""
         self.alive = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -57,12 +92,21 @@ class Simulator:
         sim.run(until=units.ms(1))
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_running", "_stopped", "events_dispatched")
+    __slots__ = (
+        "now",
+        "_heap",
+        "_seq",
+        "_pool",
+        "_running",
+        "_stopped",
+        "events_dispatched",
+    )
 
     def __init__(self) -> None:
         self.now: int = 0
         self._heap: list = []
         self._seq: int = 0
+        self._pool: list = []
         self._running: bool = False
         self._stopped: bool = False
         self.events_dispatched: int = 0
@@ -72,7 +116,24 @@ class Simulator:
         """Schedule ``fn(arg)`` to run ``delay`` picoseconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self.now + delay, fn, arg)
+        # schedule_at's body, flattened: timers re-arm on every ACK, so the
+        # extra frame matters.
+        time = self.now + delay
+        self._seq = seq = self._seq + 1
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.key = key = (time << 44) | seq
+            ev.fn = fn
+            ev.arg = arg
+            ev.alive = True
+        else:
+            ev = Event(time, seq, fn, arg)
+            key = ev.key
+        heappush(self._heap, (key, ev))
+        return ev
 
     def schedule_at(self, time: int, fn: Callable[[Any], None], arg: Any = None) -> Event:
         """Schedule ``fn(arg)`` at absolute time ``time`` (>= now)."""
@@ -80,9 +141,43 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self.now}"
             )
-        ev = Event(time, fn, arg)
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, ev))
+        self._seq = seq = self._seq + 1
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.key = key = (time << 44) | seq
+            ev.fn = fn
+            ev.arg = arg
+            ev.alive = True
+        else:
+            ev = Event(time, seq, fn, arg)
+            key = ev.key
+        heappush(self._heap, (key, ev))
+        return ev
+
+    def schedule_reuse(self, ev: Event, delay: int) -> Event:
+        """Re-arm ``ev`` — the event whose callback is currently running —
+        ``delay`` ps from now, keeping its callback and payload.
+
+        NOTE: ``Port._tx_deliver`` inlines this body (including the key
+        packing) for the per-frame delivery loop — change them together.
+
+        Only valid from within ``ev``'s own callback (the dispatcher has
+        already popped it from the heap); using it on an event that may
+        still be queued corrupts the heap.  Skips the free-list round-trip
+        that ``cancel`` + ``schedule`` would pay.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq = seq = self._seq + 1
+        time = self.now + delay
+        ev.time = time
+        ev.seq = seq
+        ev.key = key = (time << 44) | seq
+        ev.alive = True
+        heappush(self._heap, (key, ev))
         return ev
 
     # -- execution ----------------------------------------------------------
@@ -99,18 +194,59 @@ class Simulator:
         self._stopped = False
         dispatched = 0
         heap = self._heap
-        pop = heapq.heappop
+        pool = self._pool
+        pop = heappop
         try:
-            while heap and not self._stopped:
-                time, _, ev = heap[0]
-                if until is not None and time > until:
-                    break
-                pop(heap)
-                if not ev.alive:
-                    continue
-                self.now = time
-                ev.fn(ev.arg)
-                dispatched += 1
+            if until is None:
+                # Unbounded drain: pop directly, no peek needed.
+                while heap and not self._stopped:
+                    ev = pop(heap)[1]
+                    if not ev.alive:
+                        # Lazy deletion: cancelled in place, recycle it.
+                        ev.fn = ev.arg = None
+                        if len(pool) < _POOL_MAX:
+                            pool.append(ev)
+                        continue
+                    self.now = ev.time
+                    ev.alive = False
+                    seq = ev.seq
+                    ev.fn(ev.arg)
+                    # Recycle only if the callback neither re-armed the
+                    # event (schedule_reuse bumps seq, so seq unchanged
+                    # proves it is not back in the heap) nor left it alive.
+                    # A re-armed-then-cancelled event stays out of the pool
+                    # and is recycled by lazy deletion when it pops.
+                    if not ev.alive and ev.seq == seq:
+                        ev.fn = ev.arg = None
+                        if len(pool) < _POOL_MAX:
+                            pool.append(ev)
+                    dispatched += 1
+            else:
+                # Horizon test hoisted into key space: one int compare per
+                # iteration covers "time > until" exactly.  Pop first and
+                # push back on the (once-per-run) horizon hit — cheaper than
+                # peeking every iteration.
+                horizon_key = (until + 1) << 44
+                while heap and not self._stopped:
+                    item = pop(heap)
+                    if item[0] >= horizon_key:
+                        heappush(heap, item)
+                        break
+                    ev = item[1]
+                    if not ev.alive:
+                        ev.fn = ev.arg = None
+                        if len(pool) < _POOL_MAX:
+                            pool.append(ev)
+                        continue
+                    self.now = ev.time
+                    ev.alive = False
+                    seq = ev.seq
+                    ev.fn(ev.arg)
+                    if not ev.alive and ev.seq == seq:  # see drain loop note
+                        ev.fn = ev.arg = None
+                        if len(pool) < _POOL_MAX:
+                            pool.append(ev)
+                    dispatched += 1
         finally:
             self._running = False
         if until is not None and self.now < until and not self._stopped:
@@ -123,12 +259,22 @@ class Simulator:
     def step(self) -> bool:
         """Dispatch the single next live event.  Returns False if none left."""
         heap = self._heap
+        pool = self._pool
         while heap:
-            time, _, ev = heapq.heappop(heap)
+            ev = heappop(heap)[1]
             if not ev.alive:
+                ev.fn = ev.arg = None
+                if len(pool) < _POOL_MAX:
+                    pool.append(ev)
                 continue
-            self.now = time
+            self.now = ev.time
+            ev.alive = False
+            seq = ev.seq
             ev.fn(ev.arg)
+            if not ev.alive and ev.seq == seq:  # see run() note
+                ev.fn = ev.arg = None
+                if len(pool) < _POOL_MAX:
+                    pool.append(ev)
             self.events_dispatched += 1
             return True
         return False
@@ -140,16 +286,24 @@ class Simulator:
     def peek(self) -> Optional[int]:
         """Time of the next live event, or None if the queue is empty."""
         heap = self._heap
+        pool = self._pool
         while heap:
-            time, _, ev = heap[0]
+            ev = heap[0][1]
             if ev.alive:
-                return time
-            heapq.heappop(heap)
+                return ev.time
+            heappop(heap)
+            ev.fn = ev.arg = None
+            if len(pool) < _POOL_MAX:
+                pool.append(ev)
         return None
 
     def queue_len(self) -> int:
         """Number of events in the heap (including cancelled ones)."""
         return len(self._heap)
+
+    def pool_len(self) -> int:
+        """Number of recycled Event shells currently on the free list."""
+        return len(self._pool)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator now={self.now}ps queued={len(self._heap)}>"

@@ -44,12 +44,16 @@ class Topology:
         default_link: Optional[LinkSpec] = None,
         switch_config: Optional[SwitchConfig] = None,
         transport_config: Optional[TransportConfig] = None,
+        pool_packets: bool = True,
     ) -> None:
         self.sim = sim
         self.seeds = seeds or SeedSequenceFactory(1)
         self.default_link = default_link or LinkSpec()
         self.switch_config = switch_config or SwitchConfig()
         self.transport_config = transport_config or TransportConfig()
+        # Experiment fabrics recycle frames by default (see PacketPool);
+        # pass pool_packets=False to keep packets immortal for debugging.
+        self.pool_packets = pool_packets
         self.hosts: List[Host] = []
         self.switches: List[Switch] = []
         self.graph = nx.Graph()
@@ -65,6 +69,7 @@ class Topology:
             host_id=len(self.hosts),
             transport=self.transport_config,
             cnp_enabled=cnp_enabled,
+            pool_packets=self.pool_packets,
         )
         self.hosts.append(host)
         self._by_name[name] = host

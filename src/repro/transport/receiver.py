@@ -36,6 +36,8 @@ class ReceiverQP:
         "cnp_enabled",
         "cnp_interval_ps",
         "_last_cnp_ps",
+        "_pool",
+        "_nic",
         "data_packets",
         "dup_acks_sent",
     )
@@ -49,6 +51,8 @@ class ReceiverQP:
         cnp_interval_ps: int = DEFAULT_CNP_INTERVAL_PS,
     ) -> None:
         self.host = host
+        self._pool = host.pkt_pool
+        self._nic = None  # bound lazily: hosts may be wired after flow setup
         self.flow = flow
         self.rcv_nxt = 0
         self.ack_every = ack_every
@@ -62,6 +66,9 @@ class ReceiverQP:
         self.dup_acks_sent = 0
 
     def on_data(self, pkt: Packet) -> None:
+        """Consume one DATA frame.  This is the frame's terminal sink: after
+        the ACK (which may alias ``pkt.int_records``) is built, the packet
+        shell is recycled into the host's pool."""
         self.data_packets += 1
         if self.cnp_enabled and pkt.ecn:
             self._maybe_send_cnp()
@@ -70,6 +77,7 @@ class ReceiverQP:
             # ACK so go-back-N recovery can kick in.
             self.dup_acks_sent += 1
             self._send_ack(pkt, force=True)
+            self._pool.release(pkt)
             return
         self.rcv_nxt += pkt.payload
         done = pkt.last
@@ -80,20 +88,24 @@ class ReceiverQP:
         self._unacked_pkts += 1
         if done or self._unacked_pkts >= self.ack_every:
             self._send_ack(pkt)
+        self._pool.release(pkt)
 
     # -- ACK construction ----------------------------------------------------------
     def _send_ack(self, data_pkt: Packet, force: bool = False) -> None:
         if not force:
             self._unacked_pkts = 0
-        ack = Packet(
+        flow = self.flow
+        # Positional acquire (kind, flow_id, src, dst, seq, size, payload,
+        # priority); src/dst reversed — the ACK travels back to the sender.
+        ack = self._pool.acquire(
             ACK,
-            flow_id=self.flow.flow_id,
-            src=self.flow.dst,  # reverse direction
-            dst=self.flow.src,
-            seq=self.rcv_nxt,
-            size=ACK_SIZE,
-            payload=0,
-            priority=self.flow.priority,
+            flow.flow_id,
+            flow.dst,
+            flow.src,
+            self.rcv_nxt,
+            ACK_SIZE,
+            0,
+            flow.priority,
         )
         ack.last = self.completed
         ack.ecn_echo = data_pkt.ecn
@@ -103,8 +115,13 @@ class ReceiverQP:
             ack.int_records = data_pkt.int_records
             ack.size += INT_RECORD_BYTES * len(data_pkt.int_records)
         # FNCC §3.2.3: N = number of concurrent inbound flows (QP connections).
-        ack.n_flows = self.host.active_inbound_flows()
-        self.host.transmit(ack)
+        # (active_inbound_flows() inlined: never less than 1 when ACKing.)
+        n = self.host._active_inbound
+        ack.n_flows = n if n > 1 else 1
+        nic = self._nic
+        if nic is None:
+            nic = self._nic = self.host.ports[0]
+        nic.enqueue(ack)  # Host.transmit, inlined
 
     # -- DCQCN notification point -----------------------------------------------------
     def _maybe_send_cnp(self) -> None:
@@ -112,7 +129,7 @@ class ReceiverQP:
         if now - self._last_cnp_ps < self.cnp_interval_ps:
             return
         self._last_cnp_ps = now
-        cnp = Packet(
+        cnp = self.host.pkt_pool.acquire(
             CNP,
             flow_id=self.flow.flow_id,
             src=self.flow.dst,

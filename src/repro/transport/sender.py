@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.packet import DATA, Packet
 from repro.sim.timer import Timer
-from repro.units import DEFAULT_MTU, serialization_ps
+from repro.units import DEFAULT_MTU
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cc.base import CongestionControl
@@ -76,9 +76,16 @@ class SenderQP:
         "snd_una",
         "next_tx_ps",
         "finished",
-        "_pace_timer",
+        "_pace_ev",
         "_retx_timer",
         "_pace_armed_for",
+        "_window_limited",
+        "_max_payload",
+        "_header_bytes",
+        "_flow_size",
+        "_retx_ps",
+        "_pool",
+        "_nic",
         "on_complete",
         "acks_received",
         "timeouts",
@@ -108,7 +115,19 @@ class SenderQP:
         self.snd_una = 0
         self.next_tx_ps = 0
         self.finished = False
-        self._pace_timer = Timer(self.sim, self._pace_fire)
+        # Hot-path caches of per-flow constants (one attribute load instead
+        # of a config chain per frame).
+        self._window_limited = config.window_limited
+        self._max_payload = config.max_payload
+        self._header_bytes = config.header_bytes
+        self._flow_size = flow.size_bytes
+        self._retx_ps = config.retx_timeout_ps
+        # Pacing uses a raw engine event (one per emitted frame in steady
+        # state) instead of the Timer wrapper; _pace_armed_for carries the
+        # deadline the live event is armed for, None when disarmed.
+        self._pace_ev = None
+        self._pool = host.pkt_pool
+        self._nic = None  # bound lazily: hosts may be wired after flow setup
         self._retx_timer = Timer(self.sim, self._retx_fire)
         self._pace_armed_for: Optional[int] = None
         self.on_complete: Optional[Callable[["SenderQP"], None]] = None
@@ -137,58 +156,89 @@ class SenderQP:
         """Emit as many frames as pacing + window currently allow."""
         if self.finished:
             return
-        while self.snd_nxt < self.flow.size_bytes:
-            if self.config.window_limited and self.inflight >= self.window:
-                self._pace_timer.cancel()
+        flow_size = self._flow_size
+        window_limited = self._window_limited
+        while self.snd_nxt < flow_size:
+            if window_limited and self.snd_nxt - self.snd_una >= self.window:
+                ev = self._pace_ev
+                if ev is not None:
+                    ev.alive = False  # Event.cancel(), inlined
+                    self._pace_ev = None
                 self._pace_armed_for = None
                 return  # ACK-clocked: on_ack re-enters
             now = self.sim.now
-            if self.next_tx_ps > now:
-                if self._pace_armed_for != self.next_tx_ps:
-                    self._pace_timer.start(self.next_tx_ps - now)
-                    self._pace_armed_for = self.next_tx_ps
+            next_tx = self.next_tx_ps
+            if next_tx > now:
+                if self._pace_armed_for != next_tx:
+                    ev = self._pace_ev
+                    if ev is not None:
+                        ev.alive = False
+                    self._pace_ev = self.sim.schedule(
+                        next_tx - now, self._pace_fire
+                    )
+                    self._pace_armed_for = next_tx
                 return
             self._emit()
 
     def _emit(self) -> None:
-        payload = min(self.config.max_payload, self.flow.size_bytes - self.snd_nxt)
-        pkt = Packet(
+        flow = self.flow
+        snd_nxt = self.snd_nxt
+        remaining = self._flow_size - snd_nxt
+        max_payload = self._max_payload
+        payload = max_payload if remaining > max_payload else remaining
+        size = payload + self._header_bytes
+        # Positional acquire (kind, flow_id, src, dst, seq, size, payload,
+        # priority): keyword passing costs real time at this call rate.
+        pkt = self._pool.acquire(
             DATA,
-            flow_id=self.flow.flow_id,
-            src=self.flow.src,
-            dst=self.flow.dst,
-            seq=self.snd_nxt,
-            size=payload + self.config.header_bytes,
-            payload=payload,
-            priority=self.flow.priority,
+            flow.flow_id,
+            flow.src,
+            flow.dst,
+            snd_nxt,
+            size,
+            payload,
+            flow.priority,
         )
-        pkt.sent_ts = self.sim.now
-        pkt.last = self.snd_nxt + payload >= self.flow.size_bytes
-        self.snd_nxt += payload
+        now = self.sim.now
+        pkt.sent_ts = now
+        pkt.last = payload >= remaining
+        self.snd_nxt = snd_nxt + payload
         # Pace at R: the inter-frame gap is the frame's wire time at R.
         rate = self.rate_gbps
         if rate > 0:
-            gap = serialization_ps(pkt.size, rate)
+            # Inline serialization_ps: same expression, same rounding.
+            gap = round(size * 8000 / rate)
         else:  # fully throttled; retry in one base RTT
             gap = self.base_rtt_ps
-        self.next_tx_ps = max(self.next_tx_ps, self.sim.now) + gap
-        self.host.transmit(pkt)
+        next_tx = self.next_tx_ps
+        self.next_tx_ps = (next_tx if next_tx > now else now) + gap
+        nic = self._nic
+        if nic is None:
+            nic = self._nic = self.host.ports[0]
+        nic.enqueue(pkt)  # Host.transmit, inlined
 
     def _pace_fire(self, _arg) -> None:
+        self._pace_ev = None
         self._pace_armed_for = None
         self._maybe_send()
 
     # -- receive path ---------------------------------------------------------------
     def on_ack(self, ack: Packet) -> None:
+        """Process a cumulative ACK.  The sender host is the ACK's terminal
+        sink: once the CC module has consumed it, the frame is recycled
+        (CC modules may retain ``ack.int_records`` — the list survives; the
+        packet shell does not)."""
         if self.finished:
+            self._pool.release(ack)
             return
         self.acks_received += 1
         if ack.seq > self.snd_una:
             self.snd_una = ack.seq
-            if self.config.retx_timeout_ps > 0:
-                self._retx_timer.start(self.config.retx_timeout_ps)
+            if self._retx_ps > 0:
+                self._retx_timer.start(self._retx_ps)
         self.cc.on_ack(self, ack)
-        if self.snd_una >= self.flow.size_bytes:
+        self._pool.release(ack)
+        if self.snd_una >= self._flow_size:
             self._finish()
             return
         self._maybe_send()
@@ -216,7 +266,10 @@ class SenderQP:
 
     def _finish(self) -> None:
         self.finished = True
-        self._pace_timer.cancel()
+        ev = self._pace_ev
+        if ev is not None:
+            ev.alive = False
+            self._pace_ev = None
         self._retx_timer.cancel()
         self.cc.on_flow_finish(self)
         if self.on_complete is not None:

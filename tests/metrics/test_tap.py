@@ -91,3 +91,28 @@ class TestCapture:
         run_flow(sim, a, b, size=3000)
         sim.run()
         assert "DATA" in tap.summary()
+
+
+class TestPoolInteraction:
+    def test_two_taps_keep_pool_paused_until_last_uninstall(self, sim):
+        from repro.net.host import Host
+
+        a = Host(sim, "a", host_id=0, pool_packets=True)
+        b = Host(sim, "b", host_id=1, pool_packets=True)
+        from repro.net.port import connect
+
+        connect(sim, a, b, 100.0, 0)
+        t1 = PacketTap(b)
+        t2 = PacketTap(b, kind=DATA)
+        assert b.pkt_pool.enabled is False
+        t1.uninstall()
+        # t2 still capturing: recycling must stay off.
+        assert b.pkt_pool.enabled is False
+        t2.uninstall()
+        assert b.pkt_pool.enabled is True
+
+    def test_uninstall_does_not_enable_originally_disabled_pool(self, sim):
+        a, b = wired_pair(sim)  # bare hosts: pooling off by default
+        tap = PacketTap(b)
+        tap.uninstall()
+        assert b.pkt_pool.enabled is False

@@ -1,0 +1,169 @@
+"""Regression tests for the arithmetic single-event link pipeline and the
+Switch.new_port n_prio contract."""
+
+import pytest
+
+from repro.net.node import Node
+from repro.net.packet import DATA, PAUSE, Packet, PacketPool
+from repro.net.port import connect
+from repro.net.switch import Switch, SwitchConfig
+from repro.units import serialization_ps
+
+
+class Sink(Node):
+    def __init__(self, sim, name="sink"):
+        super().__init__(sim, name)
+        self.arrivals = []
+
+    def receive(self, pkt, in_port):
+        self.arrivals.append((self.sim.now, pkt))
+
+
+def wire(sim, rate=100.0, delay=0):
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    pa, pb = connect(sim, a, b, rate, delay)
+    return a, b, pa, pb
+
+
+def data(size=1518, prio=0, flow=0):
+    return Packet(DATA, flow_id=flow, src=0, dst=1, size=size, payload=size - 48, priority=prio)
+
+
+class TestSwitchNewPortPrio:
+    """Satellite fix: new_port used to silently ignore its n_prio arg."""
+
+    def test_default_uses_config_n_prio(self, sim):
+        sw = Switch(sim, "sw", SwitchConfig(n_prio=4))
+        port = sw.new_port(100.0, 0)
+        assert port.n_prio == 4
+
+    def test_matching_override_accepted(self, sim):
+        sw = Switch(sim, "sw", SwitchConfig(n_prio=4))
+        port = sw.new_port(100.0, 0, n_prio=4)
+        assert port.n_prio == 4
+
+    def test_conflicting_override_raises(self, sim):
+        sw = Switch(sim, "sw", SwitchConfig(n_prio=4))
+        with pytest.raises(ValueError, match="n_prio"):
+            sw.new_port(100.0, 0, n_prio=2)
+
+    def test_connect_mismatch_detected(self, sim):
+        """connect(n_prio=...) against a switch with a different config no
+        longer silently builds mismatched PFC state."""
+        sw = Switch(sim, "sw", SwitchConfig(n_prio=2))
+        other = Sink(sim)
+        with pytest.raises(ValueError):
+            connect(sim, other, sw, 100.0, 0, n_prio=3)
+
+    def test_plain_node_default_is_one(self, sim):
+        n = Sink(sim)
+        assert n.new_port(100.0, 0).n_prio == 1
+
+
+class TestSingleEventPipeline:
+    def test_one_dispatch_per_frame_hop(self, sim):
+        """The tentpole invariant: a frame-hop costs one scheduler event."""
+        a, b, pa, pb = wire(sim)
+        for i in range(10):
+            pa.enqueue(data(flow=i))
+        sim.run()
+        assert len(b.arrivals) == 10
+        assert sim.events_dispatched == 10
+
+    def test_backlog_keeps_single_outstanding_event(self, sim):
+        a, b, pa, pb = wire(sim)
+        for i in range(50):
+            pa.enqueue(data(flow=i))
+        # Only the head delivery is armed; the rest are arithmetic.
+        assert sim.queue_len() == 1
+        sim.run()
+        assert len(b.arrivals) == 50
+
+    def test_pause_requeue_preserves_arrival_times(self, sim):
+        """XOFF then immediate XON must not change the schedule."""
+        a, b, pa, pb = wire(sim, delay=0)
+        for i in range(5):
+            pa.enqueue(data(flow=i))
+        expected_last = 5 * serialization_ps(1518, 100.0)
+        pa.pause(0)
+        pa.resume(0)
+        sim.run()
+        assert [p.flow_id for _, p in b.arrivals] == [0, 1, 2, 3, 4]
+        assert b.arrivals[-1][0] == expected_last
+
+    def test_pause_midstream_shifts_tail_only(self, sim):
+        ser = serialization_ps(1518, 100.0)
+        a, b, pa, pb = wire(sim, delay=0)
+        for i in range(3):
+            pa.enqueue(data(flow=i))
+        pa.pause(0)  # frame 0 in service completes; 1 and 2 re-queued
+        sim.run(until=10 * ser)
+        assert len(b.arrivals) == 1
+        pa.resume(0)
+        sim.run()
+        assert [p.flow_id for _, p in b.arrivals] == [0, 1, 2]
+        # Tail restarts at resume time, back-to-back.
+        assert b.arrivals[2][0] - b.arrivals[1][0] == ser
+
+    def test_control_frame_preempts_pending_commits(self, sim):
+        ser = serialization_ps(1518, 100.0)
+        a, b, pa, pb = wire(sim, delay=0)
+        pa.enqueue(data(flow=0))
+        pa.enqueue(data(flow=1))
+        ctrl = Packet(PAUSE, size=64)
+        pa.enqueue(ctrl)
+        sim.run()
+        kinds = [p.kind for _, p in b.arrivals]
+        assert kinds == [DATA, PAUSE, DATA]
+        # The control frame went on the wire right at the frame boundary.
+        assert b.arrivals[1][0] == ser + serialization_ps(64, 100.0)
+
+    def test_queue_backlog_lazy_accounting(self, sim):
+        ser = serialization_ps(1518, 100.0)
+        a, b, pa, pb = wire(sim)
+        for i in range(4):
+            pa.enqueue(data(flow=i))
+        assert pa.qbytes_total == 3 * 1518  # head in service not counted
+        sim.run(until=ser)
+        assert pa.qbytes_total == 2 * 1518
+        sim.run(until=2 * ser)
+        assert pa.qbytes_total == 1518
+        sim.run()
+        assert pa.qbytes_total == 0
+
+
+class TestPacketPool:
+    def test_acquire_reuses_released_packet(self):
+        pool = PacketPool(enabled=True)
+        p1 = pool.acquire(DATA, 1, 0, 1, 0, 1518, 1470, 0)
+        p1.ecn = True
+        p1.hops = 3
+        pool.release(p1)
+        p2 = pool.acquire(DATA, 2, 5, 6, 100, 64, 0, 0)
+        assert p2 is p1  # recycled shell
+        assert p2.flow_id == 2 and p2.seq == 100 and p2.size == 64
+        assert p2.ecn is False and p2.hops == 0  # fully reset
+
+    def test_release_drops_int_records_by_reference(self):
+        pool = PacketPool(enabled=True)
+        pkt = pool.acquire(DATA, 1, 0, 1, 0, 1518, 1470, 0)
+        from repro.net.packet import INTRecord
+
+        pkt.add_int(INTRecord(100.0, 1, 2, 3))
+        records = pkt.int_records
+        pool.release(pkt)
+        assert pkt.int_records is None
+        assert len(records) == 1  # aliased list itself untouched
+
+    def test_disabled_pool_never_recycles(self):
+        pool = PacketPool(enabled=False)
+        pkt = pool.acquire(DATA, 1, 0, 1, 0, 1518, 1470, 0)
+        pool.release(pkt)
+        assert pool.acquire(DATA, 2, 0, 1, 0, 64, 0, 0) is not pkt
+
+    def test_max_free_bounds_pool(self):
+        pool = PacketPool(enabled=True, max_free=2)
+        pkts = [pool.acquire(DATA, i, 0, 1, 0, 64, 0, 0) for i in range(5)]
+        for p in pkts:
+            pool.release(p)
+        assert pool.recycled == 2

@@ -144,3 +144,21 @@ class TestSpanningTrees:
         t1 = build_trees(topo, 2, seed=9)
         t2 = build_trees(topo, 2, seed=9)
         assert [sorted(t.edges) for t in t1] == [sorted(t.edges) for t in t2]
+
+
+class TestDuplicateFlowIds:
+    def test_duplicate_flow_id_between_different_host_pairs(self, sim):
+        """Flow ids are only unique per host: two flows sharing an id but
+        connecting different host pairs must each route toward their own
+        destination (regression for a cache keyed by flow_id alone)."""
+        topo = fattree(sim, k=4)
+        install_ecmp(topo)
+        path_a = trace_path(topo, 0, 8, flow_id=7)
+        path_b = trace_path(topo, 1, 12, flow_id=7)
+        # Interleave the lookups so per-flow caches are warm and reused.
+        assert trace_path(topo, 0, 8, flow_id=7) == path_a
+        assert trace_path(topo, 1, 12, flow_id=7) == path_b
+        # Each path must actually end at its own destination (trace_path
+        # asserts delivery), and the ACK path must mirror its own flow.
+        assert trace_path(topo, 8, 0, flow_id=7, kind=ACK) == path_a[::-1]
+        assert trace_path(topo, 12, 1, flow_id=7, kind=ACK) == path_b[::-1]

@@ -1,0 +1,236 @@
+"""Engine edge cases around the hot-path machinery: lazy cancellation,
+peek() pruning, run(until=...) clock advance, non-reentrancy, and the
+event free list (recycling must never resurrect a cancelled callback)."""
+
+import pytest
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+
+class TestLazyCancellation:
+    def test_cancelled_event_stays_in_heap_until_popped(self, sim):
+        ev = sim.schedule(10, lambda _: None)
+        ev.cancel()
+        assert sim.queue_len() == 1  # lazy: not physically removed
+        sim.run()
+        assert sim.queue_len() == 0
+        assert sim.events_dispatched == 0
+
+    def test_cancel_inside_own_callback_is_harmless(self, sim):
+        log = []
+
+        def cb(_):
+            holder[0].cancel()  # self-cancel during dispatch
+            log.append("ran")
+
+        holder = [sim.schedule(5, cb)]
+        sim.run()
+        assert log == ["ran"]
+
+    def test_cancel_via_direct_alive_flag(self, sim):
+        # Internal fast path used by the sender's pace event.
+        log = []
+        ev = sim.schedule(5, log.append, "x")
+        ev.alive = False
+        sim.run()
+        assert log == []
+
+
+class TestPeekPruning:
+    def test_peek_prunes_dead_head(self, sim):
+        ev = sim.schedule(5, lambda _: None)
+        sim.schedule(9, lambda _: None)
+        ev.cancel()
+        assert sim.peek() == 9
+        # The dead head was physically removed (and recycled).
+        assert sim.queue_len() == 1
+
+    def test_peek_drains_all_dead(self, sim):
+        evs = [sim.schedule(i + 1, lambda _: None) for i in range(5)]
+        for ev in evs:
+            ev.cancel()
+        assert sim.peek() is None
+        assert sim.queue_len() == 0
+
+
+class TestRunUntilClock:
+    def test_clock_advances_to_horizon_on_drained_queue(self, sim):
+        sim.schedule(10, lambda _: None)
+        sim.run(until=500)
+        assert sim.now == 500
+
+    def test_clock_advances_even_with_empty_queue(self, sim):
+        sim.run(until=123)
+        assert sim.now == 123
+
+    def test_event_exactly_at_horizon_runs(self, sim):
+        log = []
+        sim.schedule(100, log.append, "edge")
+        sim.run(until=100)
+        assert log == ["edge"]
+        assert sim.now == 100
+
+    def test_event_past_horizon_survives_for_next_run(self, sim):
+        log = []
+        sim.schedule(100, log.append, "late")
+        sim.run(until=50)
+        assert log == []
+        assert sim.queue_len() == 1  # pushed back, not lost
+        sim.run(until=150)
+        assert log == ["late"]
+
+
+class TestReentrancy:
+    def test_run_inside_callback_raises(self, sim):
+        def naughty(_):
+            sim.run()
+
+        sim.schedule(1, naughty)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_engine_usable_after_reentrancy_error(self, sim):
+        def naughty(_):
+            sim.run()
+
+        sim.schedule(1, naughty)
+        with pytest.raises(SimulationError):
+            sim.run()
+        log = []
+        sim.schedule(1, log.append, "ok")
+        sim.run()
+        assert log == ["ok"]
+
+
+class TestEventPool:
+    def test_dispatched_events_are_recycled(self, sim):
+        sim.schedule(1, lambda _: None)
+        sim.run()
+        assert sim.pool_len() == 1
+        ev = sim.schedule(2, lambda _: None)
+        assert sim.pool_len() == 0  # shell came from the pool
+        ev.cancel()
+        sim.run()
+        assert sim.pool_len() == 1  # lazily-deleted shells recycle too
+
+    def test_recycling_never_resurrects_cancelled_callback(self, sim):
+        """A recycled shell must run only its new callback, never the
+        cancelled one it previously carried."""
+        log = []
+        ev = sim.schedule(5, log.append, "OLD")
+        ev.cancel()
+        sim.run()  # pops + recycles the dead shell
+        reused = sim.schedule(7, log.append, "NEW")
+        assert reused is ev  # same object, recycled
+        sim.run()
+        assert log == ["NEW"]
+
+    def test_dispatch_recycle_resets_payload(self, sim):
+        payload = object()
+        sim.schedule(1, lambda _: None, payload)
+        sim.run()
+        # The pooled shell must not pin the old callback/payload alive.
+        assert sim._pool[0].fn is None
+        assert sim._pool[0].arg is None
+
+    def test_keys_strictly_ordered_for_ties(self, sim):
+        log = []
+        a = sim.schedule(5, log.append, "a")
+        b = sim.schedule(5, log.append, "b")
+        assert a.key < b.key  # same time, insertion order breaks the tie
+        sim.run()
+        assert log == ["a", "b"]
+
+
+class TestScheduleReuse:
+    def test_reuse_from_own_callback_fires_again(self, sim):
+        log = []
+
+        def tick(_):
+            log.append(sim.now)
+            if len(log) < 3:
+                sim.schedule_reuse(holder[0], 10)
+
+        holder = [sim.schedule(10, tick)]
+        sim.run()
+        assert log == [10, 20, 30]
+
+    def test_reused_event_is_not_pooled_mid_flight(self, sim):
+        def tick(_):
+            if sim.now < 30:
+                sim.schedule_reuse(holder[0], 10)
+
+        holder = [sim.schedule(10, tick)]
+        sim.run()
+        # One shell total, recycled only after its final dispatch.
+        assert sim.pool_len() == 1
+
+    def test_reuse_negative_delay_rejected(self, sim):
+        def cb(_):
+            with pytest.raises(SimulationError):
+                sim.schedule_reuse(holder[0], -1)
+
+        holder = [sim.schedule(1, cb)]
+        sim.run()
+
+
+class TestEventOrderable:
+    def test_event_lt_orders_by_time_then_seq(self):
+        a = Event(10, 1, lambda _: None, None)
+        b = Event(10, 2, lambda _: None, None)
+        c = Event(5, 3, lambda _: None, None)
+        assert a < b
+        assert c < a
+        assert not (b < a)
+
+
+class TestReuseThenCancel:
+    """Regression: a schedule_reuse'd event cancelled later in the same
+    callback is back in the heap — the dispatcher must NOT recycle it."""
+
+    def test_periodic_stopping_itself_does_not_corrupt_pool(self, sim):
+        from repro.sim.timer import Periodic
+
+        ticks = []
+
+        def fn(now):
+            ticks.append(now)
+            if len(ticks) == 2:
+                periodic.stop()  # cancels the event _tick just re-armed
+
+        periodic = Periodic(sim, 100, fn)
+        periodic.start()
+        log = []
+        sim.schedule(300, log.append, "other")
+        # Schedule-heavy follow-up that would reuse a corrupted shell.
+        sim.schedule(505, log.append, "late")
+        sim.run()
+        assert ticks == [100, 200]
+        assert log == ["other", "late"]
+
+    def test_clock_stays_monotonic_after_reuse_cancel(self, sim):
+        from repro.sim.timer import Periodic
+
+        seen = []
+
+        def fn(now):
+            if now >= 200:
+                periodic.stop()
+
+        periodic = Periodic(sim, 100, fn)
+        periodic.start()
+        sim.schedule(300, lambda _: seen.append(sim.now))
+        ev = sim.schedule(505, lambda _: seen.append(sim.now))
+        assert ev is not None
+        sim.run()
+        assert seen == [300, 505]  # strictly ordered, no time travel
+
+    def test_rearmed_then_cancelled_shell_recycled_via_lazy_deletion(self, sim):
+        def fn(_):
+            sim.schedule_reuse(holder[0], 50)
+            holder[0].cancel()
+
+        holder = [sim.schedule(10, fn)]
+        sim.run()
+        # The shell was pooled exactly once (at its lazy-deletion pop).
+        assert sim.pool_len() == 1

@@ -250,3 +250,22 @@ class TestTransportConfigValidation:
 
     def test_max_payload(self):
         assert TransportConfig(mtu=1518, header_bytes=48).max_payload == 1470
+
+
+class TestLateWiring:
+    def test_receiver_registration_before_wiring_is_legal(self, sim):
+        """ReceiverQP must not bind the NIC port at construction: receivers
+        may be registered before the host is wired.  (start_flow has always
+        required wiring first — it reads the NIC line rate.)"""
+        from repro.net.host import Host
+        from repro.net.port import connect
+
+        a = Host(sim, "a", host_id=0)
+        b = Host(sim, "b", host_id=1)
+        flow = Flow(0, 0, 1, 5000, start_ps=us(1))
+        b.register_receiver(flow)  # before any port exists
+        connect(sim, a, b, 100.0, 0)
+        qp = a.start_flow(flow, CongestionControl(), us(10))
+        sim.run()
+        assert qp.finished
+        assert b.receivers[0].completed

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Hot-path perf bench CLI.
+
+Runs the fixed scenarios from :mod:`benchmarks.perf_harness`, appends one
+entry to the ``BENCH_hotpath.json`` trajectory, and prints the speedup of
+this run against the recorded baseline (the first entry, or the entry
+tagged ``"label": "baseline"``).
+
+Usage::
+
+    python tools/bench.py                 # full scenario set, 3 repeats
+    python tools/bench.py --quick         # CI smoke: fig9 only, 1 repeat
+    python tools/bench.py --scenario fig14_websearch --repeats 5
+    python tools/bench.py --label my-change
+
+Works both installed (``pip install -e .``) and from a bare checkout (it
+adds ``src/`` and the repo root to ``sys.path`` itself).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for p in (REPO_ROOT / "src", REPO_ROOT):
+    if str(p) not in sys.path:
+        sys.path.insert(0, str(p))
+
+from benchmarks.perf_harness import (  # noqa: E402
+    QUICK_SCENARIOS,
+    SCENARIOS,
+    measure_all,
+    speedup,
+)
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_hotpath.json"
+
+
+def git_rev() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                cwd=REPO_ROOT,
+                check=True,
+            ).stdout.strip()
+        )
+    except Exception:  # pragma: no cover - bare tarball checkouts
+        return "unknown"
+
+
+def load_trajectory(path: Path) -> list:
+    if path.exists():
+        return json.loads(path.read_text())
+    return []
+
+
+def find_baseline(trajectory: list) -> dict:
+    for entry in trajectory:
+        if entry.get("label") == "baseline":
+            return entry
+    return trajectory[0] if trajectory else {}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: fig9 microbench only, 1 repeat",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        choices=sorted(SCENARIOS),
+        help="run only this scenario (repeatable)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--label", default="", help="tag for this entry")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--no-write", action="store_true", help="measure and print only"
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        names = list(QUICK_SCENARIOS)
+        repeats = 1
+    else:
+        names = args.scenario or list(SCENARIOS)
+        repeats = args.repeats
+
+    print(f"measuring {names} (repeats={repeats}) ...", flush=True)
+    metrics = measure_all(names, repeats=repeats)
+
+    trajectory = load_trajectory(args.out)
+    baseline = find_baseline(trajectory)
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "git_rev": git_rev(),
+        "python": platform.python_version(),
+        "label": args.label,
+        "repeats": repeats,
+        "scenarios": metrics,
+    }
+    if baseline:
+        entry["speedup_vs_baseline"] = speedup(
+            metrics, baseline.get("scenarios", {})
+        )
+
+    header = f"{'scenario':>18} {'wall(s)':>9} {'events':>9} {'ev/s':>10} {'hops/s':>10} {'speedup':>8}"
+    print(header)
+    for name, m in metrics.items():
+        sp = entry.get("speedup_vs_baseline", {}).get(name)
+        print(
+            f"{name:>18} {m['wall_s']:9.3f} {m['events']:9d} "
+            f"{m['events_per_sec']:10d} {m.get('frame_hops_per_sec', 0):10d} "
+            f"{(f'{sp:.2f}x' if sp else '—'):>8}"
+        )
+
+    if not args.no_write:
+        trajectory.append(entry)
+        args.out.write_text(json.dumps(trajectory, indent=2) + "\n")
+        print(f"appended entry #{len(trajectory)} to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
