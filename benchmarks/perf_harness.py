@@ -7,6 +7,10 @@ the figures that stress the hot path the hardest:
 * ``fig1_queue``  — one Fig. 1b cell (two elephants, dumbbell, FNCC).
 * ``fig9_micro``  — the Fig. 9 micro-benchmark scenario (FNCC @ 100G).
 * ``fig14_websearch`` — the Fig. 14 WebSearch FCT run on a k=4 fat-tree.
+* ``lbmatrix`` — two cells of the CC × LB matrix (spray under WebSearch,
+  ConWeave-lite under permutation, both FNCC on the k=4 fat-tree): the
+  load-balancing subsystem's hot path — per-packet strategy dispatch plus
+  the receiver-side reorder buffer — measured alongside the classic paths.
 
 Metrics per scenario (all medians over ``repeats`` runs after one warmup):
 
@@ -34,6 +38,8 @@ from typing import Callable, Dict, List, Tuple
 
 from repro.experiments.common import run_microbench
 from repro.experiments.fig14_websearch import run_fig14
+from repro.experiments.lbmatrix import run_lb_cell
+from repro.units import KB
 
 #: scenario name -> zero-arg callable returning a list of Simulator objects
 #: plus a list of Topology-like objects exposing per-port tx counters.
@@ -55,10 +61,19 @@ def _fig14_websearch() -> ScenarioResult:
     return [r.sim for r in results.values()], []
 
 
+def _lbmatrix() -> ScenarioResult:
+    spray = run_lb_cell("spray", "fncc", workload="websearch", n_flows=200, seed=1)
+    conweave = run_lb_cell(
+        "conweave", "fncc", workload="permutation", perm_flow_bytes=600 * KB, seed=1
+    )
+    return [spray.sim, conweave.sim], []
+
+
 SCENARIOS: Dict[str, Callable[[], ScenarioResult]] = {
     "fig1_queue": _fig1_queue,
     "fig9_micro": _fig9_micro,
     "fig14_websearch": _fig14_websearch,
+    "lbmatrix": _lbmatrix,
 }
 
 #: Scenarios exercised by ``tools/bench.py --quick`` (CI smoke).

@@ -15,6 +15,8 @@ Public surface:
 * ``repro.transport`` — RDMA-style QPs (sender RP / receiver ACK point).
 * ``repro.cc`` — FNCC and the baselines (HPCC, DCQCN, RoCC, Timely, Swift).
 * ``repro.topo`` / ``repro.routing`` — fabrics and symmetric routing.
+* ``repro.lb`` — pluggable load balancing (ECMP, spray, flowlet,
+  ConWeave-lite) with reorder-tolerant receivers.
 * ``repro.traffic`` / ``repro.metrics`` — workloads and measurements.
 * ``repro.experiments`` — one module per paper figure.
 """
@@ -25,6 +27,7 @@ from repro.net import Switch, SwitchConfig, IntMode, Host, EcnConfig
 from repro.transport import Flow, TransportConfig
 from repro.cc import make_cc_factory, ALGORITHMS
 from repro.topo import Topology, dumbbell, fattree, star, congestion_at, jellyfish
+from repro.lb import LbConfig, install_lb
 from repro.metrics import FctCollector, QueueSampler, RateSampler, UtilizationSampler
 from repro.traffic import websearch_cdf, fb_hadoop_cdf, PoissonWorkload
 from repro.experiments.common import quick_dumbbell

@@ -174,6 +174,7 @@ def run_microbench(
     topo_builder: Optional[Callable[..., Topology]] = None,
     monitor_switch: int = 0,
     monitor_port: Optional[int] = None,
+    lb=None,
     **cc_params,
 ) -> MicrobenchResult:
     """The Figs. 1/3/9 micro-benchmark: staggered elephants on a dumbbell.
@@ -181,12 +182,20 @@ def run_microbench(
     flow0 starts at t=0 at line rate; flow1 joins at ``stagger_us`` (300 µs
     in the paper); the monitored egress queue is switch0's port toward
     switch1 (override with ``monitor_switch``/``monitor_port``).
+
+    ``lb`` (a strategy name or :class:`repro.lb.LbConfig`) is forwarded to
+    the builder; custom ``topo_builder`` callables must accept the kwarg.
     """
     sim = Simulator()
     seeds = SeedSequenceFactory(seed)
     env = build_cc_env(cc, link_rate_gbps=link_rate_gbps, pfc_xoff=pfc_xoff, **cc_params)
     link = LinkSpec(rate_gbps=link_rate_gbps, prop_delay_ps=us(1.5))
     builder = topo_builder or dumbbell
+    builder_kw = {}
+    if lb is not None:
+        # Only forwarded when requested, so pre-LB custom builders without
+        # the kwarg keep working; install_lb normalizes names/configs.
+        builder_kw["lb"] = lb
     topo = builder(
         sim,
         n_senders=n_senders,
@@ -195,6 +204,7 @@ def run_microbench(
         switch_config=env.switch_config,
         seeds=seeds,
         cnp_enabled=env.cnp_enabled,
+        **builder_kw,
     )
     env.post_install(topo)
 

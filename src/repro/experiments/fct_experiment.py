@@ -72,9 +72,13 @@ def run_fct_experiment(
     seed: int = 1,
     max_horizon_ms: float = 50.0,
     bins: Optional[Sequence[int]] = None,
+    lb=None,
     **cc_params,
 ) -> FctResult:
     """Run one (CC, workload) cell of Figs. 14/15.
+
+    ``lb`` selects the load-balancing strategy (name or
+    :class:`repro.lb.LbConfig`); None keeps the symmetric-ECMP baseline.
 
     Runs until every generated flow completes or ``max_horizon_ms`` elapses
     (stragglers under a misbehaving CC should not hang the harness; the
@@ -96,6 +100,7 @@ def run_fct_experiment(
         switch_config=env.switch_config,
         seeds=seeds,
         cnp_enabled=env.cnp_enabled,
+        lb=lb,
     )
     env.post_install(topo)
     collector = FctCollector(topo)

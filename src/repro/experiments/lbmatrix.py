@@ -1,0 +1,251 @@
+"""The CC × LB evaluation matrix (``fncc-exp lbmatrix``).
+
+Beyond-the-paper scenario diversity: the paper evaluates its CC schemes on
+a single multipath story (symmetric per-flow ECMP); this experiment crosses
+every load-balancing strategy in :mod:`repro.lb` — ECMP, per-packet spray,
+flowlet switching, ConWeave-lite rerouting — with DCQCN / HPCC / FNCC on
+two fabrics (k=4 fat-tree, Jellyfish) under two traffic patterns
+(permutation elephants, WebSearch Poisson at 50% load).
+
+Everything is deterministic in the seed: same seed → byte-identical FCT
+lists for every cell (pinned by ``tests/experiments/test_lbmatrix.py``).
+
+On the fat-tree permutation scenario, spray and flowlet are expected to
+beat per-flow ECMP on mean FCT: ECMP hash collisions put multiple
+elephants on one uplink while spray/flowlet use the full path set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.common import CcEnv, build_cc_env, launch_flows
+from repro.lb import LbConfig
+from repro.metrics.fct import FctCollector
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeedSequenceFactory
+from repro.topo.base import LinkSpec
+from repro.topo.fattree import fattree
+from repro.topo.jellyfish import jellyfish
+from repro.traffic.distributions import websearch_cdf
+from repro.traffic.generator import PoissonWorkload, permutation_flows
+from repro.units import KB, MS, us
+
+LBS = ("ecmp", "spray", "flowlet", "conweave")
+CCS = ("dcqcn", "hpcc", "fncc")
+TOPOS = ("fattree", "jellyfish")
+WORKLOADS = ("permutation", "websearch")
+
+#: A cell key: (topo, workload, lb, cc).
+CellKey = Tuple[str, str, str, str]
+
+
+class LbCell:
+    """One matrix cell's outcome."""
+
+    def __init__(
+        self, key: CellKey, collector: FctCollector, n_flows: int, sim: Simulator
+    ) -> None:
+        self.key = key
+        self.collector = collector
+        self.n_flows = n_flows
+        self.sim = sim
+
+    @property
+    def completed(self) -> int:
+        return self.collector.completed()
+
+    @property
+    def mean_fct_us(self) -> float:
+        fcts = [r.fct_ps for r in self.collector.records]
+        return float(np.mean(fcts)) / us(1) if fcts else float("nan")
+
+    @property
+    def p99_fct_us(self) -> float:
+        fcts = [r.fct_ps for r in self.collector.records]
+        return float(np.percentile(fcts, 99)) / us(1) if fcts else float("nan")
+
+    @property
+    def mean_slowdown(self) -> float:
+        s = self.collector.slowdowns()
+        return float(s.mean()) if len(s) else float("nan")
+
+    def fct_fingerprint(self) -> Tuple[Tuple[int, int], ...]:
+        """(flow_id, fct_ps) pairs, sorted — the determinism witness."""
+        return tuple(
+            sorted((r.flow.flow_id, r.fct_ps) for r in self.collector.records)
+        )
+
+
+def make_lb_config(lb: str) -> LbConfig:
+    """Matrix-default knobs per strategy (explicit so cells are pinned even
+    if library defaults move)."""
+    if lb == "flowlet":
+        return LbConfig("flowlet", gap_ps=us(15))
+    if lb == "conweave":
+        return LbConfig("conweave")
+    if lb == "spray":
+        return LbConfig("spray", mode="round_robin")
+    return LbConfig("ecmp", symmetric=True)
+
+
+def run_lb_cell(
+    lb: str,
+    cc: str,
+    topo_name: str = "fattree",
+    workload: str = "permutation",
+    seed: int = 1,
+    k: int = 4,
+    n_switches: int = 8,
+    switch_degree: int = 4,
+    hosts_per_switch: int = 2,
+    link_rate_gbps: float = 100.0,
+    perm_flow_bytes: int = 300 * KB,
+    n_flows: int = 100,
+    load: float = 0.5,
+    scale: float = 0.1,
+    max_horizon_ms: float = 20.0,
+    **cc_params,
+) -> LbCell:
+    """Run one (topo, workload, lb, cc) cell and collect FCTs."""
+    if topo_name not in TOPOS:
+        raise ValueError(f"topo must be one of {TOPOS}")
+    if workload not in WORKLOADS:
+        raise ValueError(f"workload must be one of {WORKLOADS}")
+    sim = Simulator()
+    seeds = SeedSequenceFactory(seed)
+    env: CcEnv = build_cc_env(cc, link_rate_gbps=link_rate_gbps, **cc_params)
+    link = LinkSpec(rate_gbps=link_rate_gbps, prop_delay_ps=us(1.5))
+    lb_config = make_lb_config(lb)
+    if topo_name == "fattree":
+        topo = fattree(
+            sim,
+            k=k,
+            link=link,
+            switch_config=env.switch_config,
+            seeds=seeds,
+            cnp_enabled=env.cnp_enabled,
+            lb=lb_config,
+        )
+    else:
+        topo = jellyfish(
+            sim,
+            n_switches=n_switches,
+            switch_degree=switch_degree,
+            hosts_per_switch=hosts_per_switch,
+            link=link,
+            switch_config=env.switch_config,
+            seeds=seeds,
+            cnp_enabled=env.cnp_enabled,
+            lb=lb_config,
+        )
+    env.post_install(topo)
+    collector = FctCollector(topo)
+
+    if workload == "permutation":
+        flows = permutation_flows(
+            [h.host_id for h in topo.hosts], perm_flow_bytes, seeds
+        )
+    else:
+        flows = PoissonWorkload(
+            n_hosts=len(topo.hosts),
+            host_rate_gbps=link_rate_gbps,
+            cdf=websearch_cdf(scale=scale),
+            load=load,
+            seeds=seeds,
+        ).generate(n_flows)
+    launch_flows(topo, flows, env)
+
+    total = len(flows)
+    horizon = round(max_horizon_ms * MS)
+    chunk = MS // 2
+    t = 0
+    while collector.completed() < total and t < horizon:
+        t = min(t + chunk, horizon)
+        sim.run(until=t)
+        if sim.peek() is None:
+            break
+    return LbCell((topo_name, workload, lb, cc), collector, total, sim)
+
+
+def run_lbmatrix(
+    lbs: Sequence[str] = LBS,
+    ccs: Sequence[str] = CCS,
+    topos: Sequence[str] = TOPOS,
+    workloads: Sequence[str] = WORKLOADS,
+    seed: int = 1,
+    **kwargs,
+) -> Dict[CellKey, LbCell]:
+    """The full (or any sliced) CC × LB × fabric × traffic sweep."""
+    out: Dict[CellKey, LbCell] = {}
+    for topo_name in topos:
+        for workload in workloads:
+            for lb in lbs:
+                for cc in ccs:
+                    cell = run_lb_cell(
+                        lb,
+                        cc,
+                        topo_name=topo_name,
+                        workload=workload,
+                        seed=seed,
+                        **kwargs,
+                    )
+                    out[cell.key] = cell
+    return out
+
+
+def format_matrix(
+    cells: Dict[CellKey, LbCell], column: str = "mean_fct_us"
+) -> str:
+    """One block per (topo, workload): LB rows × CC columns."""
+    lines = []
+    groups: Dict[Tuple[str, str], Dict[Tuple[str, str], LbCell]] = {}
+    for (topo_name, workload, lb, cc), cell in cells.items():
+        groups.setdefault((topo_name, workload), {})[(lb, cc)] = cell
+    for (topo_name, workload), block in groups.items():
+        ccs = sorted({cc for _, cc in block})
+        lbs = sorted({lb for lb, _ in block})
+        lines.append(f"\n{topo_name} / {workload} — {column}")
+        lines.append(f"{'lb':>10} " + " ".join(f"{cc:>10}" for cc in ccs))
+        for lb in lbs:
+            row = []
+            for cc in ccs:
+                cell = block.get((lb, cc))
+                v = getattr(cell, column) if cell else None
+                row.append(f"{v:10.1f}" if v is not None else f"{'-':>10}")
+            lines.append(f"{lb:>10} " + " ".join(row))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    cells = run_lbmatrix()
+    print("CC × LB matrix (FCTs in µs; lower is better)")
+    print(format_matrix(cells, "mean_fct_us"))
+    print(format_matrix(cells, "p99_fct_us"))
+    incomplete = {
+        k: (c.completed, c.n_flows)
+        for k, c in cells.items()
+        if c.completed < c.n_flows
+    }
+    if incomplete:
+        print("\ncells with stragglers (completed/total):")
+        for k, (done, total) in incomplete.items():
+            print(f"  {k}: {done}/{total}")
+    perm = {
+        k: c for k, c in cells.items() if k[0] == "fattree" and k[1] == "permutation"
+    }
+    if perm:
+        print("\nfat-tree permutation, mean FCT vs ECMP (per CC):")
+        for cc in sorted({k[3] for k in perm}):
+            base = perm.get(("fattree", "permutation", "ecmp", cc))
+            for lb in sorted({k[2] for k in perm} - {"ecmp"}):
+                cell = perm.get(("fattree", "permutation", lb, cc))
+                if base and cell:
+                    gain = 100.0 * (base.mean_fct_us - cell.mean_fct_us) / base.mean_fct_us
+                    print(f"  {cc:>6} {lb:>9}: {gain:+.1f}%")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

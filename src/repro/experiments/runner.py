@@ -23,6 +23,7 @@ def _experiments() -> Dict[str, Callable[[], None]]:
         fig14_websearch,
         fig15_hadoop,
         headline,
+        lbmatrix,
         paper_scale,
         related_work,
         theory,
@@ -38,6 +39,7 @@ def _experiments() -> Dict[str, Callable[[], None]]:
         "fig14": fig14_websearch.main,
         "fig15": fig15_hadoop.main,
         "headline": headline.main,
+        "lbmatrix": lbmatrix.main,
         "ablations": ablations.main,
         "theory": theory.main,
         "related-work": related_work.main,

@@ -1,0 +1,208 @@
+"""The load-balancing strategy layer.
+
+Routing in this simulator has two halves: *where the paths are* (the
+equal-cost next-hop tables of :mod:`repro.routing.tables`) and *which path a
+packet takes* (the per-switch ``router`` callable).  A
+:class:`LoadBalancer` owns the second half.  One instance is installed per
+switch by :func:`install_lb`; the instance binds its per-switch state
+(hash caches, flowlet tables, ConWeave epochs) at install time and hands
+the switch a closure with the same ``router(sw, pkt) -> out_port`` contract
+the hot path has always used, so the per-packet cost of the abstraction is
+zero — strategy dispatch happens once at install, not per packet.
+
+Ownership rules:
+
+* All mutable strategy state is owned by the per-switch instance, created
+  inside :func:`install_lb`.  A fresh topology therefore never inherits
+  cached hashes or flowlet history from a previous run.
+* Every cache is bounded (``max_cache_entries``).  On overflow the cache is
+  swept/cleared — safe because every cached value is recomputable from the
+  packet alone (ECMP hashes) or is advisory (flowlet/epoch state, where a
+  reset just starts a new flowlet/epoch).
+
+Strategies that can reorder packets (spray, flowlet, conweave-lite) declare
+``reorders = True``; :func:`install_lb` then makes the topology's receivers
+reorder-tolerant: when ``TransportConfig.reorder_window_bytes`` is still
+zero it is turned on at :data:`DEFAULT_REORDER_WINDOW` (an explicit caller
+value is respected), and duplicate-ACK fast rewind is armed on senders
+(``dupack_rewind``) so the receiver's loss signals actually trigger
+go-back-N without waiting for a timeout.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Type
+
+from repro.routing.tables import RoutingTables, build_graph_tables
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
+    from repro.net.switch import Switch
+    from repro.topo.base import Topology
+
+Router = Callable[["Switch", "Packet"], int]
+
+#: Reorder window handed to receivers when a reordering strategy is
+#: installed and the transport config still has the window disabled.
+#: Sized to cover several BDPs of the paper's 100 Gb/s fabric so a
+#: lossless run can never wedge on an un-fillable hole.
+DEFAULT_REORDER_WINDOW = 512 * 1024
+
+
+class LbConfig:
+    """One strategy choice plus its knobs, threadable through topology
+    builders and experiment configs.  ``params`` are forwarded to the
+    strategy constructor."""
+
+    __slots__ = ("strategy", "params")
+
+    def __init__(self, strategy: str = "ecmp", **params) -> None:
+        if strategy not in REGISTRY:
+            raise ValueError(
+                f"unknown LB strategy {strategy!r}; have {sorted(REGISTRY)}"
+            )
+        self.strategy = strategy
+        self.params = params
+
+    def build(self) -> "LoadBalancer":
+        return REGISTRY[self.strategy](**self.params)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kv = ", ".join(f"{k}={v!r}" for k, v in self.params.items())
+        return f"LbConfig({self.strategy!r}{', ' + kv if kv else ''})"
+
+
+class LoadBalancer:
+    """Per-switch path-selection strategy.
+
+    Subclasses override :meth:`make_router` to return the hot-path closure
+    for one switch; the table slice handed in maps ``dst host id ->
+    (port,)``-style entries pre-split by :func:`split_tables`.
+    """
+
+    #: registry key; subclasses set this.
+    name: str = "base"
+    #: True when the strategy can deliver a flow's packets out of order.
+    reorders: bool = False
+
+    def __init__(self, max_cache_entries: int = 1 << 16) -> None:
+        if max_cache_entries < 1:
+            raise ValueError("max_cache_entries must be positive")
+        self.max_cache_entries = max_cache_entries
+        self.switch: Optional["Switch"] = None
+        self.seeds = None
+
+    def bind(self, sw: "Switch", tables: Dict[int, List[int]], seeds=None) -> Router:
+        """Attach to one switch: record the binding, build the closure.
+        ``seeds`` is the topology's :class:`SeedSequenceFactory` for
+        strategies that draw named RNG streams."""
+        self.switch = sw
+        self.seeds = seeds
+        return self.make_router(sw, split_tables(tables))
+
+    def make_router(self, sw: "Switch", split: Dict[int, object]) -> Router:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        at = self.switch.name if self.switch is not None else "unbound"
+        return f"<{type(self).__name__} @{at}>"
+
+
+def split_tables(tables: Dict[int, List[int]]) -> Dict[int, object]:
+    """Pre-split each destination entry into single-port ``int`` or
+    ``(ports_tuple, n)`` so the per-packet path does no ``len()`` call
+    (the hot-path idiom the old closure router used)."""
+    return {
+        dst: (ports[0] if len(ports) == 1 else (tuple(ports), len(ports)))
+        for dst, ports in tables.items()
+    }
+
+
+def sweep_bounded_table(table: Dict, cap: int, is_expired) -> None:
+    """Shared eviction for per-flow strategy tables (flowlet, conweave).
+
+    Deletes entries for which ``is_expired(value)`` holds; if everything is
+    expired — or the table still sits at ``cap`` after the sweep — it is
+    cleared outright.  Called only when an insertion finds the table at
+    ``cap``, so the O(table) scan amortizes to O(1) per insertion (a clear
+    buys ``cap`` insertions before the next sweep).  Always safe: evicted
+    state is advisory (an expired flowlet re-hashes on its next packet; an
+    evicted conweave flow restarts at epoch 0, which receivers treat as
+    ordinary reordering)."""
+    expired = [k for k, v in table.items() if is_expired(v)]
+    if len(expired) < len(table):
+        for k in expired:
+            del table[k]
+    else:
+        table.clear()
+    if len(table) >= cap:
+        table.clear()
+
+
+def make_flow_hash_port(hash_cache: Dict[tuple, int], salt: int, cap: int):
+    """The canonical symmetric flow hash with a bounded memo, shared by the
+    reordering strategies' non-DATA (ACK/CNP) path so the reverse path
+    stays stable.  One definition; :class:`~repro.lb.ecmp.EcmpLB` keeps an
+    *inlined* copy of the same logic because there it is the per-DATA-packet
+    hot path — keep the two in sync."""
+    from repro.sim.rng import stable_hash64
+
+    def flow_hash_port(src: int, dst: int, fid: int, ports, n: int) -> int:
+        a, b = (src, dst) if src <= dst else (dst, src)
+        key = (a, b, fid)
+        h = hash_cache.get(key)
+        if h is None:
+            if len(hash_cache) >= cap:
+                hash_cache.clear()
+            h = hash_cache[key] = stable_hash64(a, b, fid, salt)
+        return ports[h % n]
+
+    return flow_hash_port
+
+
+#: strategy name -> class; populated by :func:`register` at import time.
+REGISTRY: Dict[str, Type[LoadBalancer]] = {}
+
+
+def register(cls: Type[LoadBalancer]) -> Type[LoadBalancer]:
+    REGISTRY[cls.name] = cls
+    return cls
+
+
+def install_lb(
+    topo: "Topology", config: Optional[LbConfig] = None, **params
+) -> RoutingTables:
+    """Compute next-hop tables and install one strategy instance per switch.
+
+    ``config`` may be an :class:`LbConfig`, a strategy name string, or None
+    (plain symmetric ECMP).  Returns the computed :class:`RoutingTables`.
+    Reordering strategies require reorder-tolerant receivers; when the
+    topology's transport config has the window disabled this enables it at
+    :data:`DEFAULT_REORDER_WINDOW` (receivers read the config at flow
+    registration, which happens after topology construction).
+    """
+    if config is None:
+        config = LbConfig("ecmp", **params)
+    elif isinstance(config, str):
+        config = LbConfig(config, **params)
+    elif params:
+        raise ValueError("pass knobs via LbConfig or kwargs, not both")
+    rt = build_graph_tables(topo)
+    tables = rt.tables
+    lbs: List[LoadBalancer] = []
+    for sw in topo.switches:
+        lb = config.build()
+        sw.router = lb.bind(sw, tables[sw.name], seeds=topo.seeds)
+        sw.lb = lb
+        lbs.append(lb)
+    if any(lb.reorders for lb in lbs):
+        tc = topo.transport_config
+        if tc.reorder_window_bytes == 0:
+            tc.reorder_window_bytes = DEFAULT_REORDER_WINDOW
+        if tc.dupack_rewind == 0:
+            # Dup ACKs are rare and meaningful under a reorder-tolerant
+            # receiver: one is enough to trigger fast go-back-N.
+            tc.dupack_rewind = 1
+    topo.lb_config = config
+    topo.routing_tables = rt
+    return rt

@@ -89,11 +89,14 @@ class Host(Node):
         """Pre-register the receive context for an inbound flow."""
         if flow.dst != self.host_id:
             raise ValueError(f"flow {flow.flow_id} does not terminate here")
+        tc = self.transport_config
         rqp = ReceiverQP(
             self,
             flow,
-            ack_every=self.transport_config.ack_every,
+            ack_every=tc.ack_every,
             cnp_enabled=self.cnp_enabled,
+            reorder_window_bytes=tc.reorder_window_bytes,
+            reorder_max_pkts=tc.reorder_max_pkts,
         )
         self.receivers[flow.flow_id] = rqp
         return rqp

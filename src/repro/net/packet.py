@@ -84,6 +84,8 @@ class Packet:
         "fncc_in_port",
         "pause_prio",
         "hops",
+        "lb_tag",
+        "lb_tail",
     )
 
     def __init__(
@@ -136,6 +138,12 @@ class Packet:
         self.fncc_in_port = -1  # Alg. 1 line 3: ACK input port metadata
         self.pause_prio = 0  # PFC frames: which priority to pause/resume
         self.hops = 0  # switch hops traversed (sanity/TTL checks)
+        self.lb_tag = -1  # ConWeave-lite epoch/path tag (-1 = untagged)
+        # On DATA: last packet of a rerouted epoch's old path (tail marker).
+        # On ACK: explicit retransmit request (NACK) from a reorder-tolerant
+        # receiver — survives cumulative-ACK coalescing, unlike inferring
+        # "duplicate" from the seq field alone.
+        self.lb_tail = False
 
     # -- helpers -------------------------------------------------------------
     def add_int(self, rec: INTRecord) -> None:
@@ -248,6 +256,8 @@ class PacketPool:
             pkt.fncc_in_port = -1
             pkt.pause_prio = 0
             pkt.hops = 0
+            pkt.lb_tag = -1
+            pkt.lb_tail = False
             return pkt
         self.allocated += 1
         return Packet(kind, flow_id, src, dst, seq, size, payload, priority)

@@ -107,6 +107,10 @@ class Switch(Node):
         self._xon = config.pfc_xon
         self._int_mode = config.int_mode
         self.router: Optional[Callable[["Switch", Packet], int]] = None
+        # The load-balancing strategy instance that built ``router`` (set by
+        # repro.lb.install_lb; None for hand-wired routers).  The hot path
+        # never reads this — it exists for introspection and tests.
+        self.lb: Optional[object] = None
         self.buffer_used = 0
         self.drops = 0
         # PFC state, keyed [in_port][prio].

@@ -6,18 +6,22 @@ consistently ordered next-hop lists (see :mod:`repro.routing.tables`) the
 two directions select the same physical path.  ``symmetric=False`` hashes
 the directed tuple instead, reproducing the asymmetry problem FNCC's
 Observation 2 warns about (used by the ablation bench).
+
+Since the load-balancing subsystem landed, the strategy itself lives in
+:class:`repro.lb.ecmp.EcmpLB`; this installer is the compatibility entry
+point that wires the ECMP baseline onto every switch.  The per-flow hash
+memo is owned by the per-switch strategy instance (fresh per install, so a
+new topology never inherits stale entries) and bounded — see
+:mod:`repro.lb.base` for the ownership rules.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.routing.tables import RoutingTables, build_graph_tables
-from repro.sim.rng import stable_hash64
+from repro.routing.tables import RoutingTables
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.net.packet import Packet
-    from repro.net.switch import Switch
     from repro.topo.base import Topology
 
 
@@ -25,58 +29,6 @@ def install_ecmp(
     topo: "Topology", symmetric: bool = True, salt: int = 0
 ) -> RoutingTables:
     """Compute tables and attach an ECMP router to every switch."""
-    rt = build_graph_tables(topo)
-    tables = rt.tables
-    # The five-tuple hash is flow-invariant, so compute it once per flow and
-    # memoize: the per-packet router then costs one dict hit plus a modulo.
-    # Keys carry the full canonical tuple — flow ids are only unique per
-    # host, so (src, dst) must participate or two flows sharing an id
-    # between different host pairs would alias.
-    hash_cache: dict = {}
+    from repro.lb.base import LbConfig, install_lb
 
-    def make_router(sw_tables):
-        # Pre-split each destination entry into (ports, n) — single-port
-        # entries collapse to the bare index — so the per-packet path does
-        # no len() call.
-        split = {
-            dst: (ports[0] if len(ports) == 1 else (tuple(ports), len(ports)))
-            for dst, ports in sw_tables.items()
-        }
-        if symmetric:
-
-            def router(sw: "Switch", pkt: "Packet") -> int:
-                entry = split[pkt.dst]
-                if type(entry) is int:
-                    return entry
-                ports, n = entry
-                a, b = pkt.src, pkt.dst
-                if a > b:
-                    a, b = b, a
-                key = (a, b, pkt.flow_id)
-                h = hash_cache.get(key)
-                if h is None:
-                    h = hash_cache[key] = stable_hash64(a, b, pkt.flow_id, salt)
-                return ports[h % n]
-
-        else:
-
-            def router(sw: "Switch", pkt: "Packet") -> int:
-                entry = split[pkt.dst]
-                if type(entry) is int:
-                    return entry
-                ports, n = entry
-                key = (pkt.src, pkt.dst, pkt.flow_id)
-                h = hash_cache.get(key)
-                if h is None:
-                    h = hash_cache[key] = stable_hash64(
-                        pkt.src, pkt.dst, pkt.flow_id, salt
-                    )
-                return ports[h % n]
-
-        return router
-
-    for sw in topo.switches:
-        # Bind each switch's table slice once instead of re-resolving
-        # tables[sw.name] on every packet-hop.
-        sw.router = make_router(tables[sw.name])
-    return rt
+    return install_lb(topo, LbConfig("ecmp", symmetric=symmetric, salt=salt))

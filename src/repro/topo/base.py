@@ -8,6 +8,7 @@ store-and-forward first-packet latency in both directions.
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
@@ -50,7 +51,11 @@ class Topology:
         self.seeds = seeds or SeedSequenceFactory(1)
         self.default_link = default_link or LinkSpec()
         self.switch_config = switch_config or SwitchConfig()
-        self.transport_config = transport_config or TransportConfig()
+        # Topology-owned copy: every host shares it (so install-time
+        # adjustments like the LB layer's reorder window reach receivers
+        # registered later), but a caller's config object passed to several
+        # topologies is never mutated behind their back.
+        self.transport_config = copy.copy(transport_config) if transport_config else TransportConfig()
         # Experiment fabrics recycle frames by default (see PacketPool);
         # pass pool_packets=False to keep packets immortal for debugging.
         self.pool_packets = pool_packets
@@ -58,6 +63,10 @@ class Topology:
         self.switches: List[Switch] = []
         self.graph = nx.Graph()
         self._by_name: Dict[str, object] = {}
+        # Set by repro.lb.install_lb: the installed strategy config and the
+        # next-hop tables it computed (None for hand-wired routing).
+        self.lb_config = None
+        self.routing_tables = None
 
     # -- construction ------------------------------------------------------------
     def add_host(self, name: str, cnp_enabled: bool = False) -> Host:

@@ -27,9 +27,13 @@ def dumbbell(
     transport_config: Optional[TransportConfig] = None,
     seeds: Optional[SeedSequenceFactory] = None,
     cnp_enabled: bool = False,
+    lb=None,
 ) -> Topology:
     """Build Fig. 10's dumbbell: senders are hosts ``0..N-1``, the receiver
-    is host ``N`` (``topo.hosts[-1]``).  Routing is installed."""
+    is host ``N`` (``topo.hosts[-1]``).  Routing is installed; ``lb``
+    selects the strategy (single-path here, so every strategy degenerates
+    to the same forwarding — the knob exists so ``run_microbench`` can
+    thread one configuration through any builder)."""
     if n_senders < 1:
         raise ValueError("need at least one sender")
     if n_switches < 1:
@@ -51,6 +55,11 @@ def dumbbell(
     for a, b in zip(switches, switches[1:]):
         topo.link(a, b)
     topo.link(switches[-1], receiver)
-    install_ecmp(topo)
+    if lb is None:
+        install_ecmp(topo)
+    else:
+        from repro.lb import install_lb
+
+        install_lb(topo, lb)
     topo.start()
     return topo

@@ -33,7 +33,11 @@ def fattree(
     seeds: Optional[SeedSequenceFactory] = None,
     cnp_enabled: bool = False,
     symmetric_ecmp: bool = True,
+    lb=None,
 ) -> Topology:
+    """``lb`` selects the load-balancing strategy (an
+    :class:`repro.lb.LbConfig` or a strategy name); None keeps the ECMP
+    baseline controlled by ``symmetric_ecmp``."""
     if k < 2 or k % 2:
         raise ValueError(f"fat-tree arity k must be even and >= 2, got {k}")
     half = k // 2
@@ -63,7 +67,12 @@ def fattree(
                 )
                 topo.link(host, tor)
 
-    install_ecmp(topo, symmetric=symmetric_ecmp)
+    if lb is None:
+        install_ecmp(topo, symmetric=symmetric_ecmp)
+    else:
+        from repro.lb import install_lb
+
+        install_lb(topo, lb)
     topo.start()
     return topo
 

@@ -31,10 +31,15 @@ def jellyfish(
     seeds: Optional[SeedSequenceFactory] = None,
     n_trees: int = 3,
     cnp_enabled: bool = False,
+    lb=None,
 ) -> Topology:
     """Random ``switch_degree``-regular switch fabric with
-    ``hosts_per_switch`` hosts hanging off each switch; spanning-tree
-    routing installed (symmetric by construction)."""
+    ``hosts_per_switch`` hosts hanging off each switch.  ``lb=None`` keeps
+    the paper's spanning-tree routing (symmetric by construction); passing
+    an :class:`repro.lb.LbConfig`/strategy name installs shortest-path
+    multi-path routing under that strategy instead (generally *asymmetric*
+    on Jellyfish — the Observation 2 regime the lbmatrix experiment
+    probes)."""
     if switch_degree >= n_switches:
         raise ValueError("degree must be below the switch count")
     if (n_switches * switch_degree) % 2:
@@ -59,6 +64,11 @@ def jellyfish(
         for h in range(hosts_per_switch):
             host = topo.add_host(f"h{i}_{h}", cnp_enabled=cnp_enabled)
             topo.link(host, sw)
-    install_spanning_trees(topo, n_trees=n_trees, seed=topo.seeds.root_seed)
+    if lb is None:
+        install_spanning_trees(topo, n_trees=n_trees, seed=topo.seeds.root_seed)
+    else:
+        from repro.lb import install_lb
+
+        install_lb(topo, lb)
     topo.start()
     return topo

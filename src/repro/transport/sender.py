@@ -6,6 +6,13 @@ module's rate ``R = W/T`` and (for window-based CCs) caps in-flight bytes at
 cumulative ACKs, and a retransmission timeout rolls ``snd_nxt`` back to
 ``snd_una``.  On a PFC-lossless fabric the timeout should never fire; tests
 exercise it by disabling PFC and shrinking switch buffers.
+
+With a reorder-tolerant receiver (``TransportConfig.reorder_window_bytes``)
+duplicate ACKs become *rare and meaningful* — the receiver absorbs ordinary
+multipath reordering silently — so ``dupack_rewind`` additionally arms a
+fast go-back-N rewind on consecutive duplicate ACKs, rate-limited to one
+per base RTT.  ``repro.lb.install_lb`` enables it alongside the reorder
+window; the strict-order default keeps timeout-only recovery.
 """
 
 from __future__ import annotations
@@ -34,6 +41,9 @@ class TransportConfig:
         "ack_every",
         "retx_timeout_ps",
         "window_limited",
+        "reorder_window_bytes",
+        "reorder_max_pkts",
+        "dupack_rewind",
     )
 
     def __init__(
@@ -43,16 +53,37 @@ class TransportConfig:
         ack_every: int = 1,
         retx_timeout_ps: int = 0,  # 0 = disabled (lossless fabric default)
         window_limited: bool = True,
+        reorder_window_bytes: int = 0,  # 0 = strict in-order (dup-ACK on OOO)
+        reorder_max_pkts: int = 512,
+        dupack_rewind: int = 0,  # 0 = disabled (timeout-only recovery)
     ) -> None:
         if mtu <= header_bytes:
             raise ValueError("MTU must exceed header size")
         if ack_every < 1:
             raise ValueError("ack_every must be >= 1")
+        if reorder_window_bytes < 0 or reorder_max_pkts < 1:
+            raise ValueError("invalid reorder window")
+        if dupack_rewind < 0:
+            raise ValueError("dupack_rewind must be >= 0")
         self.mtu = mtu
         self.header_bytes = header_bytes
         self.ack_every = ack_every
         self.retx_timeout_ps = retx_timeout_ps
         self.window_limited = window_limited
+        # Receiver-side out-of-order tolerance: how far past the next
+        # expected byte arrivals may be buffered before being dropped with a
+        # duplicate ACK.  Reordering LB strategies (spray/flowlet/conweave)
+        # require a nonzero window; repro.lb.install_lb enables it.
+        self.reorder_window_bytes = reorder_window_bytes
+        self.reorder_max_pkts = reorder_max_pkts
+        # Sender-side fast recovery: after this many consecutive duplicate
+        # cumulative ACKs, go-back-N rewinds without waiting for the retx
+        # timeout (rate-limited to one rewind per base RTT).  Under a
+        # reorder-tolerant receiver dup ACKs are emitted only for genuine
+        # anomalies (window overflow, tail-drained loss hints, stale
+        # retransmissions), so install_lb arms this at 1; the strict-order
+        # default keeps the seed's timeout-only behavior.
+        self.dupack_rewind = dupack_rewind
 
     @property
     def max_payload(self) -> int:
@@ -90,6 +121,10 @@ class SenderQP:
         "acks_received",
         "timeouts",
         "start_ps",
+        "_dupacks",
+        "_dupack_rewind",
+        "_last_rewind_ps",
+        "fast_rewinds",
     )
 
     def __init__(
@@ -134,6 +169,11 @@ class SenderQP:
         self.acks_received = 0
         self.timeouts = 0
         self.start_ps = flow.start_ps
+        # Duplicate-ACK fast rewind (see TransportConfig.dupack_rewind).
+        self._dupacks = 0
+        self._dupack_rewind = config.dupack_rewind
+        self._last_rewind_ps = -(1 << 62)
+        self.fast_rewinds = 0
 
     # -- lifecycle -----------------------------------------------------------------
     def start(self) -> None:
@@ -232,10 +272,40 @@ class SenderQP:
             self._pool.release(ack)
             return
         self.acks_received += 1
-        if ack.seq > self.snd_una:
-            self.snd_una = ack.seq
+        seq = ack.seq
+        advanced = seq > self.snd_una
+        if advanced:
+            self.snd_una = seq
+            self._dupacks = 0
             if self._retx_ps > 0:
                 self._retx_timer.start(self._retx_ps)
+            if self._dupack_rewind and seq > self.snd_nxt:
+                # A rewind retransmitted a hole whose following bytes were
+                # already buffered at the receiver: the cumulative ACK has
+                # jumped past snd_nxt.  Snap forward — re-sending acked
+                # bytes would only draw stale-frame dup ACKs.
+                self.snd_nxt = seq
+        if self._dupack_rewind and self.snd_nxt > self.snd_una:
+            # Fast recovery.  A NACK-flagged ACK (receiver saw a genuine
+            # hole: overflow drop, stale frame, tail-drained loss hint) is
+            # an explicit retransmit request — it counts even when ACK
+            # coalescing made its seq advance snd_una.  A plain duplicate
+            # cumulative ACK counts via the classic seq == snd_una test.
+            if ack.lb_tail:
+                self._dupacks = self._dupack_rewind
+            elif not advanced and seq == self.snd_una:
+                self._dupacks += 1
+            if self._dupacks >= self._dupack_rewind:
+                # Go-back-N without waiting for the timeout, at most once
+                # per base RTT (one rewind's worth of retransmissions can
+                # itself echo stale-frame NACKs).
+                now = self.sim.now
+                if now - self._last_rewind_ps >= self.base_rtt_ps:
+                    self._last_rewind_ps = now
+                    self.fast_rewinds += 1
+                    self.snd_nxt = self.snd_una
+                    self.next_tx_ps = now
+                self._dupacks = 0
         self.cc.on_ack(self, ack)
         self._pool.release(ack)
         if self.snd_una >= self._flow_size:

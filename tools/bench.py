@@ -9,9 +9,15 @@ tagged ``"label": "baseline"``).
 Usage::
 
     python tools/bench.py                 # full scenario set, 3 repeats
-    python tools/bench.py --quick         # CI smoke: fig9 only, 1 repeat
+    python tools/bench.py --quick         # CI smoke: fig9 only, 3 repeats
     python tools/bench.py --scenario fig14_websearch --repeats 5
     python tools/bench.py --label my-change
+    python tools/bench.py --check         # gate: newest vs previous entry
+
+``--check`` measures nothing: it reads the trajectory and exits non-zero
+when the newest entry regresses more than ``--threshold`` (default 15%)
+in wall time against the previous entry on any scenario both entries
+measured.  CI runs it after the ``--quick`` smoke append.
 
 Works both installed (``pip install -e .``) and from a bare checkout (it
 adds ``src/`` and the repo root to ``sys.path`` itself).
@@ -70,12 +76,53 @@ def find_baseline(trajectory: list) -> dict:
     return trajectory[0] if trajectory else {}
 
 
+def check_regression(trajectory: list, threshold: float = 0.15) -> int:
+    """Compare the newest entry against the previous one; return the number
+    of scenarios whose wall time regressed by more than ``threshold``.
+
+    Only scenarios present in both entries are compared (a ``--quick``
+    entry measures one scenario against the full set of its predecessor).
+    """
+    if len(trajectory) < 2:
+        print("check: fewer than two trajectory entries, nothing to compare")
+        return 0
+    prev, newest = trajectory[-2], trajectory[-1]
+    prev_sc = prev.get("scenarios", {})
+    new_sc = newest.get("scenarios", {})
+    shared = sorted(set(prev_sc) & set(new_sc))
+    if not shared:
+        print("check: no shared scenarios between the last two entries")
+        return 0
+    failures = 0
+    print(
+        f"check: entry #{len(trajectory)} ({newest.get('label') or newest.get('git_rev')}) "
+        f"vs #{len(trajectory) - 1} ({prev.get('label') or prev.get('git_rev')}), "
+        f"threshold +{threshold:.0%}"
+    )
+    for name in shared:
+        # Prefer the min over repeats: robust to noisy-neighbor spikes on
+        # shared runners (a spike can slow one repeat, never speed one up).
+        old_wall = prev_sc[name].get("wall_min_s") or prev_sc[name].get("wall_s")
+        new_wall = new_sc[name].get("wall_min_s") or new_sc[name].get("wall_s")
+        if not old_wall or not new_wall:
+            continue
+        ratio = new_wall / old_wall
+        verdict = "FAIL" if ratio > 1 + threshold else "ok"
+        if verdict == "FAIL":
+            failures += 1
+        print(
+            f"  {name:>18}: {old_wall:.3f}s -> {new_wall:.3f}s "
+            f"({ratio - 1:+.1%}) {verdict}"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="CI smoke mode: fig9 microbench only, 1 repeat",
+        help="CI smoke mode: fig9 microbench only, 3 repeats",
     )
     parser.add_argument(
         "--scenario",
@@ -89,11 +136,32 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--no-write", action="store_true", help="measure and print only"
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="no measurement: fail if the newest trajectory entry regresses "
+        "vs the previous entry on any shared scenario",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="--check regression tolerance (fraction of wall time)",
+    )
     args = parser.parse_args(argv)
+
+    if args.check:
+        failures = check_regression(load_trajectory(args.out), args.threshold)
+        if failures:
+            print(f"check: {failures} scenario(s) regressed beyond threshold")
+            return 1
+        return 0
 
     if args.quick:
         names = list(QUICK_SCENARIOS)
-        repeats = 1
+        # 3 repeats keep --check's medians/minima meaningful on noisy CI
+        # runners; fig9 is ~0.2 s, so this stays a smoke test.
+        repeats = 3
     else:
         names = args.scenario or list(SCENARIOS)
         repeats = args.repeats
