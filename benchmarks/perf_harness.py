@@ -11,6 +11,12 @@ the figures that stress the hot path the hardest:
   ConWeave-lite under permutation, both FNCC on the k=4 fat-tree): the
   load-balancing subsystem's hot path — per-packet strategy dispatch plus
   the receiver-side reorder buffer — measured alongside the classic paths.
+* ``pause_storm`` — the PFC pause-transition regime (Fig. 3 / incast):
+  a port holding a deep backlog behind a relentless XOFF/XON cadence,
+  plus a PFC-heavy FNCC dumbbell with a tight XOFF threshold.  This is
+  the scenario that gates the cost of a single pause transition — the
+  eager commit-everything port paid O(backlog) per XOFF/XON here; the
+  bounded-lookahead port pays O(K).
 
 Metrics per scenario (all medians over ``repeats`` runs after one warmup):
 
@@ -69,15 +75,84 @@ def _lbmatrix() -> ScenarioResult:
     return [spray.sim, conweave.sim], []
 
 
+#: pause_storm knobs — sized so the pre-fix O(backlog) port spends seconds
+#: here while the bounded-lookahead port stays in the same ballpark as the
+#: fig9 smoke scenario.
+STORM_BACKLOG_FRAMES = 3000
+STORM_CYCLES = 2500
+STORM_MTU = 1518
+
+
+def _storm_port():
+    """A 100G port preloaded with a deep backlog, then driven through
+    ``STORM_CYCLES`` XOFF/XON transitions (one frame drains per cycle, one
+    fresh frame is fed per cycle, so the backlog stays deep throughout)."""
+    from repro.net.node import Node
+    from repro.net.packet import DATA, Packet
+    from repro.net.port import connect
+    from repro.sim.engine import Simulator
+
+    class _Sink(Node):
+        def receive(self, pkt, in_port):
+            pass
+
+    sim = Simulator()
+    a, b = _Sink(sim, "a"), _Sink(sim, "b")
+    pa, _pb = connect(sim, a, b, 100.0, 1000)
+
+    def _mk(i: int) -> Packet:
+        return Packet(
+            DATA, flow_id=i, src=0, dst=1,
+            size=STORM_MTU, payload=STORM_MTU - 48,
+        )
+
+    for i in range(STORM_BACKLOG_FRAMES):
+        pa.enqueue(_mk(i))
+    ser = round(STORM_MTU * 8000 / 100.0)
+    period = 2 * ser
+
+    def _xoff(_arg):
+        pa.pause(0)
+
+    def _xon(i):
+        pa.resume(0)
+        pa.enqueue(_mk(STORM_BACKLOG_FRAMES + i))
+
+    for i in range(STORM_CYCLES):
+        sim.schedule(i * period, _xoff, None)
+        sim.schedule(i * period + ser, _xon, i)
+    sim.run()
+
+    class _StormTopo:  # duck-typed for _frame_hops
+        hosts = (a, b)
+        switches = ()
+
+    return sim, _StormTopo()
+
+
+def _pause_storm() -> ScenarioResult:
+    storm_sim, storm_topo = _storm_port()
+    # Full-stack pause regime: tight XOFF forces sustained PFC churn
+    # through switch ingress accounting and the port pause path.
+    r = run_microbench(
+        "fncc", link_rate_gbps=100.0, duration_us=400.0, seed=3, pfc_xoff=40_000
+    )
+    return [storm_sim, r.sim], [storm_topo, r.topo]
+
+
 SCENARIOS: Dict[str, Callable[[], ScenarioResult]] = {
     "fig1_queue": _fig1_queue,
     "fig9_micro": _fig9_micro,
     "fig14_websearch": _fig14_websearch,
     "lbmatrix": _lbmatrix,
+    "pause_storm": _pause_storm,
 }
 
 #: Scenarios exercised by ``tools/bench.py --quick`` (CI smoke).
-QUICK_SCENARIOS = ("fig9_micro",)
+#: ``pause_storm`` rides along so a PR reintroducing O(backlog) pause
+#: transitions blows past the ``--check`` gate instead of slipping through
+#: a pause-free smoke set.
+QUICK_SCENARIOS = ("fig9_micro", "pause_storm")
 
 
 def _frame_hops(topos: List[object]) -> int:

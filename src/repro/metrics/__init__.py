@@ -13,6 +13,7 @@ from repro.metrics.monitors import (
     RateSampler,
     UtilizationSampler,
     pause_frame_count,
+    pfc_frame_totals,
 )
 from repro.metrics.ideal import ideal_fct_ps
 from repro.metrics.fct import FctCollector, SlowdownTable, SIZE_BINS_WEBSEARCH, SIZE_BINS_HADOOP
@@ -23,6 +24,7 @@ __all__ = [
     "RateSampler",
     "UtilizationSampler",
     "pause_frame_count",
+    "pfc_frame_totals",
     "ideal_fct_ps",
     "FctCollector",
     "SlowdownTable",

@@ -5,11 +5,14 @@
 * :class:`UtilizationSampler` — bytes actually transmitted on a port per
   interval over capacity (Figs. 9g-h, 13a-c).
 * :func:`pause_frame_count` — PAUSE frames emitted by a switch (Fig. 3).
+* :func:`pfc_frame_totals` — fabric-wide PAUSE/RESUME tx-vs-rx ledger, for
+  reconciling the Fig. 3 counts (every sent frame must be received by the
+  peer once the run drains).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Dict, Iterable
 
 from repro.metrics.series import TimeSeries
 from repro.sim.timer import Periodic
@@ -85,3 +88,29 @@ class UtilizationSampler:
 def pause_frame_count(switches: Iterable["Switch"]) -> int:
     """Total PAUSE frames emitted by the given switches (Fig. 3's metric)."""
     return sum(sw.total_pause_frames() for sw in switches)
+
+
+def pfc_frame_totals(nodes: Iterable[object]) -> Dict[str, int]:
+    """Sum the four PFC frame counters over every port of ``nodes``
+    (hosts and switches alike).
+
+    On a drained fabric the ledger balances: ``pause_sent ==
+    pause_received`` and ``resume_sent == resume_received`` (each control
+    frame is delivered to exactly one peer port).  A mismatch on a
+    finished run means frames were stranded on a wire or a counter went
+    asymmetric — the bug the ``resume_received`` counter was added to
+    catch."""
+    totals = {
+        "pause_sent": 0,
+        "pause_received": 0,
+        "resume_sent": 0,
+        "resume_received": 0,
+    }
+    for node in nodes:
+        for port in node.ports:
+            stats = port.stats
+            totals["pause_sent"] += stats.pause_sent
+            totals["pause_received"] += stats.pause_received
+            totals["resume_sent"] += stats.resume_sent
+            totals["resume_received"] += stats.resume_received
+    return totals

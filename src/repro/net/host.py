@@ -145,6 +145,7 @@ class Host(Node):
             self.ports[in_port].stats.pause_received += 1
         elif kind == RESUME:
             self.ports[in_port].resume(pkt.pause_prio)
+            self.ports[in_port].stats.resume_received += 1
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unexpected packet kind {kind}")
 

@@ -7,18 +7,32 @@ forwards delivered packets to the owning node.
 
 Hot-path design (DESIGN.md §hot-path): instead of the classic
 ``kick → tx-done → deliver`` two-event chain, the transmitter is
-*arithmetic*.  ``next_free_ps`` tracks when the serializer frees up; every
-transmittable frame is committed to the wire at enqueue time — its start
-(``max(now, next_free_ps)``), finish (``start + serialization``) and
-arrival (``finish + propagation``) are computed immediately and the frame
-joins the in-flight FIFO.  Because per-link arrivals are strictly ordered,
-the port keeps exactly **one** outstanding scheduler event, armed for the
-head of that FIFO and re-armed from its own callback
-(:meth:`Simulator.schedule_reuse`) — one event dispatch per frame, a heap
-that stays a few entries deep, and zero event churn when PFC re-sequences
-the wire.  Departure-side bookkeeping (tx counters, INT stamping,
-PFC/buffer release via ``node.on_departure``) piggybacks on the delivery
-event.
+*arithmetic*.  ``next_free_ps`` tracks when the serializer frees up; a
+committed frame's start (``max(now, next_free_ps)``), finish
+(``start + serialization``) and arrival (``finish + propagation``) are
+computed immediately and the frame joins the in-flight FIFO.  Because
+per-link arrivals are strictly ordered, the port keeps exactly **one**
+outstanding scheduler event, armed for the head of that FIFO and re-armed
+from its own callback (:meth:`Simulator.schedule_reuse`) — one event
+dispatch per frame, a heap that stays a few entries deep, and zero event
+churn when PFC re-sequences the wire.  Departure-side bookkeeping (tx
+counters, INT stamping, PFC/buffer release via ``node.on_departure``)
+piggybacks on the delivery event.
+
+Commits are **bounded and lazy** (the pause-storm fix): instead of
+committing the entire backlog at enqueue time, the port commits at most
+``commit_lookahead`` (K) frames ahead of the serializer; the rest wait in
+their priority queues and are topped up one delivery at a time from
+:meth:`Port._tx_deliver`.  A PFC XOFF/XON therefore only ever uncommits
+and recommits the O(K) committed window — constant in the backlog — where
+the eager design paid O(backlog) per transition.  The window obeys a
+second rule, the *cover floor*: the serializer must stay booked through
+the next delivery event (``next_free_ps >= _inflight[0].arrival``, the
+next top-up opportunity), else lazy commits would let the wire idle and
+change timing.  Because every lazy commit starts at exactly
+``next_free_ps`` (never clamped up to ``now`` while covered), the wire
+schedule is **bit-identical for every K >= 1** — including the eager
+``K = inf`` schedule the previous engine produced — pause storms or not.
 
 Store-and-forward timing is unchanged: a frame occupies the transmitter for
 ``serialization_ps(size, rate)`` and arrives at the peer ``prop_delay_ps``
@@ -29,8 +43,9 @@ leave the in-flight FIFO and return to their priority queues — and the
 survivors are recommitted under the new pause mask.
 
 Queue-length accounting is lazy: committed frames whose serialization has
-not started yet still count as backlog; :meth:`Port._prune` retires
-accounting entries as the clock passes their start times, so
+not started yet still count as backlog (alongside parked frames the
+window has not admitted yet, which count identically); :meth:`Port._prune`
+retires accounting entries as the clock passes their start times, so
 ``qbytes_total`` reads exactly what the old eager engine reported (waiting
 bytes, excluding the frame in service) at amortized O(1) per frame.
 """
@@ -91,6 +106,7 @@ class PortStats:
         "pause_sent",
         "resume_sent",
         "pause_received",
+        "resume_received",
         "drops",
         "ecn_marked",
     )
@@ -100,6 +116,7 @@ class PortStats:
         self.pause_sent = 0
         self.resume_sent = 0
         self.pause_received = 0
+        self.resume_received = 0
         self.drops = 0
         self.ecn_marked = 0
 
@@ -128,6 +145,14 @@ class PortStats:
 #: never count toward data backlog and outrank every data class.
 CTRL_PRIO = -1
 
+#: Default commit lookahead: how many frames may sit committed-but-not-
+#: started ahead of the serializer.  A PFC transition touches O(K) frames,
+#: so keep it small; the cover floor (see the module docstring) admits
+#: extra frames on long-propagation links regardless, so K only needs to
+#: amortize the per-commit overhead.  Any K >= 1 produces the identical
+#: wire schedule.
+COMMIT_LOOKAHEAD = 3
+
 
 class Port:
     """One end of a full-duplex link, owned by a :class:`~repro.net.node.Node`."""
@@ -153,6 +178,7 @@ class Port:
         "ecn",
         "ecn_rng",
         "next_free_ps",
+        "commit_lookahead",
         "_inflight",
         "_acct",
         "_queued_bytes",
@@ -196,16 +222,20 @@ class Port:
         self.ecn: Optional[EcnConfig] = None
         self.ecn_rng: Optional[random.Random] = None
         self.next_free_ps = 0  # when the serializer frees up
+        # Bounded commit window: at most this many frames committed ahead
+        # of the serializer (plus the cover floor); a PFC transition costs
+        # O(commit_lookahead), never O(backlog).
+        self.commit_lookahead = COMMIT_LOOKAHEAD
         # Committed frames, in service order: (arrival_ps, pkt).  The single
         # delivery event (_del_ev) is armed for the head entry.
         self._inflight: deque = deque()
         # Backlog bookkeeping for committed frames: (start_ps, size, prio,
         # pkt).  Entries with start <= now are lazily retired by _prune; the
         # start > now suffix mirrors the tail of _inflight (the frames a PFC
-        # XOFF may still uncommit).
+        # XOFF may still uncommit) and is bounded by the commit window.
         self._acct: deque = deque()
         self._queued_bytes = 0  # waiting bytes across queues + pending commits
-        self._uncommitted = 0  # frames parked in queues/ctrl (pause, re-seq)
+        self._uncommitted = 0  # frames parked in queues/ctrl (window, pause, re-seq)
         self._del_ev = None
         # Skip the per-frame on_departure call entirely for nodes that keep
         # the base no-op hook (hosts, test sinks); bound once at wiring.
@@ -273,11 +303,19 @@ class Port:
             self._uncommitted == 0
             and not self.paused[prio]
             and (not acct or prio >= acct[-1][2])
+            # Window rule: the pending window has a free slot, or the
+            # serializer is not yet covered through the next delivery
+            # (len(acct) >= K > 0 implies _inflight is non-empty).
+            and (
+                len(acct) < self.commit_lookahead
+                or self.next_free_ps < self._inflight[0][0]
+            )
         ):
-            # Fast path (idle *and* steady backlogged ports): nothing is
+            # Fast path (idle *and* shallow backlogged ports): nothing is
             # parked in the queues, the new frame's class is transmittable,
-            # and strict priority puts it behind every pending commit — so
-            # commit it at the wire tail without a deque round-trip.
+            # strict priority puts it behind every pending commit, and the
+            # commit window has room — so commit it at the wire tail
+            # without a deque round-trip.
             qt = self._queued_bytes
             ecn = self.ecn
             if qt and ecn is not None and kind == DATA and not pkt.ecn:
@@ -317,24 +355,52 @@ class Port:
             self.max_qlen = qt
         if acct and prio < acct[-1][2]:
             # A stricter priority arrived behind softer pending commits:
-            # re-sequence at the frame boundary.
+            # re-sequence at the frame boundary (touches O(K) entries).
             self._uncommit_pending(now)
-        self._commit(now)
+            self._commit(now)
+            return
+        if len(acct) < self.commit_lookahead or not (
+            self._inflight and self.next_free_ps >= self._inflight[0][0]
+        ):
+            # Window has room (or the serializer is uncovered): commit.
+            # Otherwise the frame just parks; _tx_deliver tops up later.
+            self._commit(now)
 
     def pause(self, prio: int) -> None:
-        """PFC XOFF for one priority (in-flight frame completes)."""
+        """PFC XOFF for one priority (in-flight frame completes).
+
+        Cost: O(committed window) — the K-frame lookahead plus at most one
+        propagation delay's worth of cover frames — independent of how
+        deep the queue backlog is.  (The eager engine re-sequenced the
+        entire backlog here: O(backlog) per transition, quadratic under
+        pause storms.)"""
         self.paused[prio] = True
         now = self.sim.now
         if self._acct:
             self._prune(now)
         if self._acct:
-            # Uncommit everything past the frame boundary and recommit the
-            # survivors (control + unpaused priorities) under the new mask.
+            # Uncommit the bounded window past the frame boundary and
+            # recommit the survivors (control + unpaused priorities) under
+            # the new mask.
             self._uncommit_pending(now)
             self._commit(now)
 
     def resume(self, prio: int) -> None:
-        """PFC XON; restart the transmitter if it was starved."""
+        """PFC XON; restart the transmitter if it was starved.
+
+        The empty-queue early return is provably safe: while a class is
+        paused, its frames can wait in exactly one place — its own queue.
+        ``pause(prio)`` uncommits the whole pending window and recommits
+        under the mask, so no paused-class frame survives in ``_acct``,
+        and neither ``_commit`` nor the enqueue fast path ever commits a
+        paused class.  An empty ``queues[prio]`` therefore means this XON
+        changes the transmittable set not at all; frames of *other*
+        classes are either committed (delivery event armed), parked
+        behind a full window (the armed delivery tops them up), or parked
+        because their own class is paused (their own XON re-commits
+        them).  No interleaving strands the transmitter — pinned by
+        tests/net/test_port_pipeline.py and tests/property/
+        test_pause_storm.py."""
         self.paused[prio] = False
         if not self.queues[prio]:
             return
@@ -349,7 +415,9 @@ class Port:
         preserving order.  Caller must have pruned first, so the whole
         ``_acct`` deque is the pending set — which also mirrors the tail of
         ``_inflight``.  The head of ``_inflight`` (the frame in service, if
-        any) is untouched, so the armed delivery event stays valid."""
+        any) is untouched, so the armed delivery event stays valid.  The
+        pending set is bounded by the commit window, so this is O(K), not
+        O(backlog)."""
         acct = self._acct
         if not acct:
             return
@@ -369,8 +437,31 @@ class Port:
                 queues[prio].appendleft(pkt)
 
     def _commit(self, now: int) -> None:
-        """Commit every currently transmittable frame to the wire
-        arithmetically and make sure the single delivery event is armed."""
+        """Commit transmittable frames to the wire arithmetically, up to
+        the bounded lookahead window, and make sure the single delivery
+        event is armed.
+
+        The window rule has a cap and a floor:
+
+        * **cap** — at most ``commit_lookahead`` (K) frames may sit in the
+          committed-pending window (``_acct``), so a PFC transition only
+          ever re-sequences O(K) frames;
+        * **floor** — the serializer must stay booked through the next
+          delivery event (``next_free_ps >= _inflight[0].arrival``), which
+          is the next chance to top the window up.  Without the floor a
+          lazy commit could start later than the eager schedule (wire
+          idles between deliveries); with it, every commit starts exactly
+          at ``next_free_ps``, so the schedule is bit-identical for any
+          K >= 1.  On a link with propagation delay the floor admits at
+          most one propagation delay's worth of frames — still O(1) in
+          the backlog.
+
+        Control frames ignore the cap: PFC PAUSE/RESUME must hit the wire
+        at the next frame boundary regardless of window state (they are
+        rare and carry zero backlog bytes).
+
+        Caller must have pruned ``_acct`` (all entries ``start > now``) so
+        its length is the pending-window occupancy."""
         nf = self.next_free_ps
         if nf < now:
             nf = now
@@ -391,22 +482,37 @@ class Port:
         queues = self.queues
         paused = self.paused
         qb = self.qbytes
+        k = self.commit_lookahead
+        # The cover target is the armed delivery's arrival: fixed for the
+        # whole call (commits append at the FIFO tail, never the head).
+        cover = inflight[0][0] if inflight else None
+        stop = False
         for prio in range(self.n_prio):
             if paused[prio]:
                 continue
             q = queues[prio]
             while q:
+                if cover is not None and nf >= cover and len(acct) >= k:
+                    # Window full and the serializer covered through the
+                    # next top-up opportunity: park the rest.
+                    stop = True
+                    break
                 pkt = q.popleft()
                 self._uncommitted -= 1
                 size = pkt.size
                 start = nf
                 nf = start + round(size * 8000 / rate)
-                inflight.append((nf + prop, pkt))
+                arrival = nf + prop
+                inflight.append((arrival, pkt))
+                if cover is None:
+                    cover = arrival
                 if start > now:
                     acct.append((start, size, prio, pkt))
                 else:  # started immediately: no longer backlog
                     qb[prio] -= size
                     self._queued_bytes -= size
+            if stop:
+                break
         self.next_free_ps = nf
         if self._del_ev is None and inflight:
             self._del_ev = self.sim.schedule_at(inflight[0][0], self._tx_deliver, None)
@@ -427,6 +533,18 @@ class Port:
         peer.rx_bytes += pkt.size  # after on_departure: INT bytes included
         pkt.in_port = peer.index
         peer.node.receive(pkt, peer.index)
+        if self._uncommitted:
+            # Bounded lazy commit: a delivery slot freed, so top the
+            # committed window back up from the parked queues.  _commit
+            # never schedules here (_del_ev is this very event); the
+            # re-arm below picks up whatever became the FIFO head.  The
+            # hook/receive calls above cannot re-enter this port: PFC and
+            # forwarding act on other ports, and the peer's reactions ride
+            # their own events.
+            topup_now = self.sim.now
+            if self._acct:
+                self._prune(topup_now)
+            self._commit(topup_now)
         if inflight:
             # Simulator.schedule_reuse's body, flattened: this runs once per
             # frame-hop, inside our own dispatched event (the documented

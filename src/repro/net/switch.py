@@ -179,6 +179,7 @@ class Switch(Node):
                 p.stats.pause_received += 1
             else:
                 p.resume(pkt.pause_prio)
+                p.stats.resume_received += 1
             return
         # Alg. 1 line 3: the ACK's input port is recorded as metadata.  (The
         # same metadata drives RoCC's fair-rate stamping, so record always.)

@@ -1,0 +1,91 @@
+"""tools/bench.py regression gate: ``--check`` edge cases and the quick
+smoke set's coverage of the pause regime."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_cli", REPO_ROOT / "tools" / "bench.py"
+)
+bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench)
+
+
+def entry(label, **walls):
+    return {
+        "label": label,
+        "git_rev": "deadbee",
+        "scenarios": {name: {"wall_s": w, "wall_min_s": w} for name, w in walls.items()},
+    }
+
+
+class TestCheckRegression:
+    def test_empty_trajectory_is_clean_noop(self, capsys):
+        assert bench.check_regression([]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_single_entry_is_clean_noop(self, capsys):
+        assert bench.check_regression([entry("only", fig9_micro=0.2)]) == 0
+        assert "one trajectory entry" in capsys.readouterr().out
+
+    def test_no_shared_scenarios_fails_loudly(self, capsys):
+        t = [entry("a", fig9_micro=0.2), entry("b", lbmatrix=1.0)]
+        assert bench.check_regression(t) == 2
+        assert "share no scenarios" in capsys.readouterr().out
+
+    def test_missing_scenarios_key_treated_as_no_overlap(self, capsys):
+        t = [{"label": "a"}, entry("b", fig9_micro=0.2)]
+        assert bench.check_regression(t) == 2
+        assert "share no scenarios" in capsys.readouterr().out
+
+    def test_regression_beyond_threshold_fails(self, capsys):
+        t = [entry("old", fig9_micro=0.2), entry("new", fig9_micro=0.3)]
+        assert bench.check_regression(t, threshold=0.15) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_within_threshold_passes(self):
+        t = [entry("old", fig9_micro=0.2), entry("new", fig9_micro=0.22)]
+        assert bench.check_regression(t, threshold=0.15) == 0
+
+    def test_improvement_passes(self):
+        t = [entry("old", pause_storm=2.0), entry("new", pause_storm=0.2)]
+        assert bench.check_regression(t) == 0
+
+    def test_only_shared_scenarios_compared(self):
+        # A --quick entry after a full entry: the quick subset gates, the
+        # rest is ignored rather than crashing or vacuously failing.
+        t = [
+            entry("full", fig9_micro=0.2, fig14_websearch=1.2),
+            entry("quick", fig9_micro=0.21, pause_storm=0.3),
+        ]
+        assert bench.check_regression(t) == 0
+
+    def test_main_check_with_missing_file(self, tmp_path):
+        assert bench.main(["--check", "--out", str(tmp_path / "missing.json")]) == 0
+
+    def test_main_check_propagates_failure(self, tmp_path):
+        out = tmp_path / "traj.json"
+        out.write_text(
+            json.dumps([entry("old", fig9_micro=0.2), entry("new", fig9_micro=0.4)])
+        )
+        assert bench.main(["--check", "--out", str(out)]) == 1
+
+    def test_negative_lookahead_rejected_at_cli(self):
+        # A port with commit_lookahead < 1 would IndexError deep in the
+        # hot path; the CLI must reject it with a clear message instead.
+        import pytest
+
+        with pytest.raises(SystemExit):
+            bench.main(["--lookahead", "-1", "--no-write"])
+
+
+class TestQuickSmokeSet:
+    def test_pause_storm_is_gated_by_quick_smoke(self):
+        # CI runs --quick twice then --check: the pause-transition regime
+        # must be in that loop so an O(backlog) regression cannot slip
+        # through a pause-free smoke set.
+        assert "pause_storm" in bench.QUICK_SCENARIOS
+        assert set(bench.QUICK_SCENARIOS) <= set(bench.SCENARIOS)

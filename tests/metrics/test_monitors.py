@@ -111,3 +111,27 @@ class TestPauseCount:
         launch_flows(topo, flows, env)
         sim.run(until=us(300))
         assert pause_frame_count(topo.switches) > 0
+
+
+class TestPfcFrameTotals:
+    def test_ledger_balances_on_drained_run(self, sim):
+        from helpers import make_dumbbell
+        from repro.experiments.common import launch_flows
+        from repro.metrics.monitors import pfc_frame_totals
+        from repro.traffic.generator import incast_flows
+        from repro.units import KB, us
+
+        # PFC-heavy incast that runs to completion: once the fabric
+        # drains, every PAUSE/RESUME frame sent was received exactly once
+        # (hosts count XON now too — the asymmetric-accounting fix).
+        topo, env = make_dumbbell(sim, cc="fncc", pfc_xoff=40 * KB, n_senders=4)
+        flows = incast_flows(
+            [h.host_id for h in topo.hosts[:4]], topo.hosts[-1].host_id, 400 * KB
+        )
+        launch_flows(topo, flows, env)
+        sim.run(until=us(50_000))
+        totals = pfc_frame_totals(list(topo.hosts) + list(topo.switches))
+        assert totals["pause_sent"] > 0
+        assert totals["resume_sent"] > 0
+        assert totals["pause_sent"] == totals["pause_received"]
+        assert totals["resume_sent"] == totals["resume_received"]

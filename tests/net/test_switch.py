@@ -155,6 +155,42 @@ class TestPfc:
             SwitchConfig(pfc_xoff=1000, pfc_xon=2000)
 
 
+class TestPfcFrameLedger:
+    """Satellite fix: XON frames are now counted on receive
+    (``resume_received``), so Fig. 3 pause-frame totals reconcile tx
+    against rx instead of silently dropping every second frame kind."""
+
+    def test_switch_to_switch_ledger_balances(self, sim):
+        # a -- sw1 -- sw2 -- b with a tight XOFF on sw2 only: sw2 pauses
+        # and later resumes sw1's egress.  After a full drain every PFC
+        # frame sw2 sent must be counted once by sw1.
+        tight = SwitchConfig(pfc_enabled=True, pfc_xoff=4 * KB, pfc_xon=4 * KB - 2 * 1518)
+        loose = SwitchConfig(pfc_enabled=True, pfc_xoff=10**9)
+        sw1 = Switch(sim, "sw1", loose)
+        sw2 = Switch(sim, "sw2", tight)
+        a = Endpoint(sim, "a")
+        b = Endpoint(sim, "b")
+        connect(sim, a, sw1, 100.0, 0)  # sw1 port 0
+        connect(sim, sw1, sw2, 100.0, 0)  # sw1 port 1 <-> sw2 port 0
+        connect(sim, sw2, b, 100.0, 0)  # sw2 port 1
+        sw1.router = lambda s, pkt: 1 if pkt.dst == 1 else 0
+        sw2.router = lambda s, pkt: 1 if pkt.dst == 1 else 0
+
+        sw2.ports[1].pause(0)  # hold sw2's egress so its ingress fills
+        for i in range(8):
+            a.ports[0].enqueue(data(flow=i))
+        sim.run(until=5_000_000)
+        assert sw2.ports[0].stats.pause_sent >= 1
+        sw2.ports[1].resume(0)
+        sim.run()
+
+        tx = sw2.ports[0].stats  # sw2's frames toward sw1
+        rx = sw1.ports[1].stats  # counted where they arrive
+        assert tx.pause_sent == rx.pause_received >= 1
+        assert tx.resume_sent == rx.resume_received >= 1
+        assert len(b.arrivals) == 8  # lossless through the storm
+
+
 class TestHpccIntInsertion:
     def test_data_gets_int_record(self, sim):
         a, sw, b = chain(sim, SwitchConfig(int_mode=IntMode.HPCC))

@@ -9,7 +9,7 @@ tagged ``"label": "baseline"``).
 Usage::
 
     python tools/bench.py                 # full scenario set, 3 repeats
-    python tools/bench.py --quick         # CI smoke: fig9 only, 3 repeats
+    python tools/bench.py --quick         # CI smoke: fig9 + pause_storm
     python tools/bench.py --scenario fig14_websearch --repeats 5
     python tools/bench.py --label my-change
     python tools/bench.py --check         # gate: newest vs previous entry
@@ -17,7 +17,10 @@ Usage::
 ``--check`` measures nothing: it reads the trajectory and exits non-zero
 when the newest entry regresses more than ``--threshold`` (default 15%)
 in wall time against the previous entry on any scenario both entries
-measured.  CI runs it after the ``--quick`` smoke append.
+measured.  An empty or single-entry trajectory is a clean no-op (exit 0
+with a message — there is nothing to compare yet); two entries with no
+scenario in common are an error (exit 2 — the gate would otherwise pass
+vacuously).  CI runs it after the ``--quick`` smoke append.
 
 Works both installed (``pip install -e .``) and from a bare checkout (it
 adds ``src/`` and the repo root to ``sys.path`` itself).
@@ -77,22 +80,41 @@ def find_baseline(trajectory: list) -> dict:
 
 
 def check_regression(trajectory: list, threshold: float = 0.15) -> int:
-    """Compare the newest entry against the previous one; return the number
-    of scenarios whose wall time regressed by more than ``threshold``.
+    """Compare the newest trajectory entry against the previous one.
+
+    Returns an exit code: 0 when nothing regressed (or there is nothing to
+    compare yet), 1 when at least one shared scenario regressed beyond
+    ``threshold``, 2 when the two newest entries share no scenarios (the
+    gate cannot decide anything — that must not pass silently).
 
     Only scenarios present in both entries are compared (a ``--quick``
-    entry measures one scenario against the full set of its predecessor).
+    entry measures the smoke subset against the full set of its
+    predecessor).
     """
-    if len(trajectory) < 2:
-        print("check: fewer than two trajectory entries, nothing to compare")
+    if not trajectory:
+        print(
+            "check: trajectory is empty — run tools/bench.py (or --quick) "
+            "to record a first entry"
+        )
+        return 0
+    if len(trajectory) == 1:
+        print(
+            "check: only one trajectory entry "
+            f"({trajectory[0].get('label') or trajectory[0].get('git_rev')}) "
+            "— nothing to compare against yet"
+        )
         return 0
     prev, newest = trajectory[-2], trajectory[-1]
-    prev_sc = prev.get("scenarios", {})
-    new_sc = newest.get("scenarios", {})
+    prev_sc = prev.get("scenarios") or {}
+    new_sc = newest.get("scenarios") or {}
     shared = sorted(set(prev_sc) & set(new_sc))
     if not shared:
-        print("check: no shared scenarios between the last two entries")
-        return 0
+        print(
+            "check: the two newest entries share no scenarios "
+            f"({sorted(new_sc) or 'none'} vs {sorted(prev_sc) or 'none'}) — "
+            "the gate cannot compare them; measure overlapping scenario sets"
+        )
+        return 2
     failures = 0
     print(
         f"check: entry #{len(trajectory)} ({newest.get('label') or newest.get('git_rev')}) "
@@ -114,7 +136,10 @@ def check_regression(trajectory: list, threshold: float = 0.15) -> int:
             f"  {name:>18}: {old_wall:.3f}s -> {new_wall:.3f}s "
             f"({ratio - 1:+.1%}) {verdict}"
         )
-    return failures
+    if failures:
+        print(f"check: {failures} scenario(s) regressed beyond threshold")
+        return 1
+    return 0
 
 
 def main(argv=None) -> int:
@@ -122,7 +147,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="CI smoke mode: fig9 microbench only, 3 repeats",
+        help="CI smoke mode: fig9 microbench + pause_storm, 3 repeats",
     )
     parser.add_argument(
         "--scenario",
@@ -148,19 +173,31 @@ def main(argv=None) -> int:
         default=0.15,
         help="--check regression tolerance (fraction of wall time)",
     )
+    parser.add_argument(
+        "--lookahead",
+        type=int,
+        default=0,
+        help="override Port.commit_lookahead for this run (0 = default; "
+        "a huge value reproduces the eager commit-everything port, for "
+        "apples-to-apples pause-cost comparisons on one machine)",
+    )
     args = parser.parse_args(argv)
 
+    if args.lookahead < 0:
+        parser.error("--lookahead must be >= 1 (0 = keep the port default)")
+    if args.lookahead:
+        import repro.net.port as _port
+
+        _port.COMMIT_LOOKAHEAD = args.lookahead
+
     if args.check:
-        failures = check_regression(load_trajectory(args.out), args.threshold)
-        if failures:
-            print(f"check: {failures} scenario(s) regressed beyond threshold")
-            return 1
-        return 0
+        return check_regression(load_trajectory(args.out), args.threshold)
 
     if args.quick:
         names = list(QUICK_SCENARIOS)
         # 3 repeats keep --check's medians/minima meaningful on noisy CI
-        # runners; fig9 is ~0.2 s, so this stays a smoke test.
+        # runners; fig9 + pause_storm are each well under a second on the
+        # bounded-lookahead port, so this stays a smoke test.
         repeats = 3
     else:
         names = args.scenario or list(SCENARIOS)
