@@ -17,6 +17,14 @@ the figures that stress the hot path the hardest:
   the scenario that gates the cost of a single pause transition — the
   eager commit-everything port paid O(backlog) per XOFF/XON here; the
   bounded-lookahead port pays O(K).
+* ``sweep`` — the sweep-executor scenario: a multi-seed slice of the
+  CC × LB matrix run through :class:`repro.exec.SweepExecutor`.  The only
+  scenario that honours ``--jobs N`` (``tools/bench.py --jobs``): at
+  ``jobs=1`` it measures the in-process fallback, at ``jobs>1`` the
+  spawn + pickle + ordered-reduce pool path.  Wall-clock ratio between a
+  ``--jobs 1`` and a ``--jobs N`` entry on the same machine is the
+  sweep-layer speedup; entries record ``jobs``/``cpu_count`` so the
+  ``--check`` gate never compares entries with different job counts.
 
 Metrics per scenario (all medians over ``repeats`` runs after one warmup):
 
@@ -40,11 +48,13 @@ from __future__ import annotations
 
 import statistics
 import time
+from types import SimpleNamespace
 from typing import Callable, Dict, List, Tuple
 
+from repro.exec import SweepExecutor
 from repro.experiments.common import run_microbench
-from repro.experiments.fig14_websearch import run_fig14
-from repro.experiments.lbmatrix import run_lb_cell
+from repro.experiments.fct_experiment import compare_ccs
+from repro.experiments.lbmatrix import run_lb_cell, sweep_specs
 from repro.units import KB
 
 #: scenario name -> zero-arg callable returning a list of Simulator objects
@@ -63,7 +73,9 @@ def _fig9_micro() -> ScenarioResult:
 
 
 def _fig14_websearch() -> ScenarioResult:
-    results = run_fig14(ccs=("fncc",), n_flows=200, seed=1)
+    # compare_ccs is the rich in-process path (run_fig14 now reduces to
+    # portable summaries); same workload/defaults as the figure runner.
+    results = compare_ccs(("fncc",), workload="websearch", n_flows=200, seed=1)
     return [r.sim for r in results.values()], []
 
 
@@ -140,13 +152,41 @@ def _pause_storm() -> ScenarioResult:
     return [storm_sim, r.sim], [storm_topo, r.topo]
 
 
-SCENARIOS: Dict[str, Callable[[], ScenarioResult]] = {
+#: sweep scenario shape: |SWEEP_SEEDS| × |lbs| × |ccs| independent cells,
+#: heavy enough (1.5 MB permutation elephants, ~1 s/cell) that per-run
+#: work dominates the ~1.5 s pool startup (spawned workers re-import
+#: numpy + repro) once jobs > 1 on multi-core machines.
+SWEEP_SEEDS = (1, 2, 3, 4)
+SWEEP_SLICE = dict(
+    lbs=("ecmp", "spray"),
+    ccs=("fncc",),
+    topos=("fattree",),
+    workloads=("permutation",),
+    perm_flow_bytes=1500 * KB,
+)
+
+
+def _sweep(jobs: int = 1) -> ScenarioResult:
+    specs = sweep_specs(seeds=SWEEP_SEEDS, **SWEEP_SLICE)
+    results = SweepExecutor(jobs=jobs).map(specs)
+    # Workers own the simulators; the summaries carry the dispatch counts
+    # home, so the events metric stays comparable across job counts.
+    events = sum(r.value.events_dispatched for r in results)
+    return [SimpleNamespace(events_dispatched=events)], []
+
+
+SCENARIOS: Dict[str, Callable[..., ScenarioResult]] = {
     "fig1_queue": _fig1_queue,
     "fig9_micro": _fig9_micro,
     "fig14_websearch": _fig14_websearch,
     "lbmatrix": _lbmatrix,
     "pause_storm": _pause_storm,
+    "sweep": _sweep,
 }
+
+#: Scenarios whose callable takes ``jobs`` (the sweep-executor fan-out);
+#: all others ignore ``--jobs`` and measure the single-run hot path.
+JOBS_SCENARIOS = frozenset({"sweep"})
 
 #: Scenarios exercised by ``tools/bench.py --quick`` (CI smoke).
 #: ``pause_storm`` rides along so a PR reintroducing O(backlog) pause
@@ -166,17 +206,20 @@ def _frame_hops(topos: List[object]) -> int:
     return total
 
 
-def measure_scenario(name: str, repeats: int = 3) -> Dict[str, float]:
+def measure_scenario(name: str, repeats: int = 3, jobs: int = 1) -> Dict[str, float]:
     """Run ``name`` ``repeats`` times (plus one untimed warmup) and return
-    the metric dict for one trajectory entry."""
+    the metric dict for one trajectory entry.  ``jobs`` reaches only the
+    scenarios in :data:`JOBS_SCENARIOS`; pool startup is deliberately
+    *inside* the timed region (it is part of the sweep's wall cost)."""
     fn = SCENARIOS[name]
-    fn()  # warmup: imports, routing tables, allocator steady state
+    kwargs = {"jobs": jobs} if name in JOBS_SCENARIOS else {}
+    fn(**kwargs)  # warmup: imports, routing tables, allocator steady state
     walls: List[float] = []
     events = 0
     hops = 0
     for _ in range(repeats):
         t0 = time.perf_counter()
-        sims, topos = fn()
+        sims, topos = fn(**kwargs)
         walls.append(time.perf_counter() - t0)
         events = sum(s.events_dispatched for s in sims)
         hops = _frame_hops(topos)
@@ -193,9 +236,11 @@ def measure_scenario(name: str, repeats: int = 3) -> Dict[str, float]:
     return out
 
 
-def measure_all(names=None, repeats: int = 3) -> Dict[str, Dict[str, float]]:
+def measure_all(names=None, repeats: int = 3, jobs: int = 1) -> Dict[str, Dict[str, float]]:
     names = list(names) if names is not None else list(SCENARIOS)
-    return {name: measure_scenario(name, repeats=repeats) for name in names}
+    return {
+        name: measure_scenario(name, repeats=repeats, jobs=jobs) for name in names
+    }
 
 
 def speedup(entry: Dict, baseline: Dict) -> Dict[str, float]:

@@ -12,157 +12,212 @@ Not figures from the paper — these probe *why* FNCC behaves as it does:
   (Fig. 13c/d decomposition).
 * ``int_staleness_sweep`` — All_INT_Table refresh period (§4.1 "updated
   periodically"): stale telemetry converges toward HPCC-like sluggishness.
+
+Every sweep point is an independent run, so each sweep takes ``jobs=N``
+and fans points over the :mod:`repro.exec` process pool; the per-point
+functions (``beta_point`` etc.) are module-level and return plain floats
+— the picklable spec/reduce shape DESIGN.md §5 describes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
-from repro.experiments.common import run_microbench
+from repro.exec import RunSpec, run_sweep
 from repro.experiments.fig13_congestion_location import run_location
 from repro.units import KB, MB, us
 
 
-def beta_sweep(
-    betas: Sequence[float] = (0.7, 0.8, 0.9, 0.95), duration_us: float = 600.0
-) -> Dict[float, Tuple[float, float]]:
-    """beta -> (peak queue KB, mean utilization) on last-hop congestion."""
-    out = {}
-    for beta in betas:
-        r = run_location("fncc", "last", duration_us=duration_us, beta=beta)
-        out[beta] = (
-            r.peak_queue_bytes / KB,
-            r.utilization.mean_after(us(100)),
-        )
-    return out
+# -- per-point spec targets (module-level, portable return values) ----------
 
 
-def alpha_sweep(
-    alphas: Sequence[float] = (1.01, 1.05, 1.5, 3.0), duration_us: float = 600.0
-) -> Dict[float, float]:
-    """alpha -> standing queue (KB) on last-hop congestion.
-
-    The raw peak includes the pre-notification burst, so the sweep reports
-    the post-join transient window [305, 450] us instead.  A
-    threshold too high to ever fire (u tops out near 1 + q_peak/BDP ~ 1.5
-    here) degenerates to FNCC-without-LHCS.
-    """
-    out = {}
-    for a in alphas:
-        r = run_location("fncc", "last", duration_us=duration_us, alpha=a)
-        out[a] = r.queue.max_between(us(305), us(450)) / KB
-    return out
+def beta_point(beta: float, duration_us: float = 600.0) -> Tuple[float, float]:
+    """One beta setting -> (peak queue KB, mean utilization) on last-hop
+    congestion."""
+    r = run_location("fncc", "last", duration_us=duration_us, beta=beta)
+    return (
+        r.peak_queue_bytes / KB,
+        r.utilization.mean_after(us(100)),
+    )
 
 
-def ack_coalescing_sweep(
-    ms_: Sequence[int] = (1, 2, 4, 8), duration_us: float = 600.0
-) -> Dict[int, float]:
-    """ACK-per-m-packets -> peak queue KB (dumbbell, FNCC)."""
-    out = {}
-    for m in ms_:
-        from repro.experiments.common import build_cc_env, launch_flows
-        from repro.metrics.monitors import QueueSampler
-        from repro.sim.engine import Simulator
-        from repro.sim.rng import SeedSequenceFactory
-        from repro.topo.base import LinkSpec
-        from repro.topo.dumbbell import dumbbell
-        from repro.traffic.generator import staggered_elephants
-        from repro.transport.sender import TransportConfig
-
-        sim = Simulator()
-        env = build_cc_env("fncc")
-        topo = dumbbell(
-            sim,
-            n_senders=2,
-            link=LinkSpec(100.0, us(1.5)),
-            switch_config=env.switch_config,
-            transport_config=TransportConfig(ack_every=m),
-            seeds=SeedSequenceFactory(1),
-        )
-        flows = staggered_elephants(
-            [h.host_id for h in topo.hosts[:2]],
-            topo.hosts[-1].host_id,
-            20 * MB,
-            us(300),
-        )
-        launch_flows(topo, flows, env)
-        sw = topo.switches[0]
-        port_idx = topo.graph.edges[sw.name, topo.switches[1].name]["ports"][sw.name]
-        qmon = QueueSampler(sim, sw.ports[port_idx], us(1))
-        sim.run(until=us(duration_us))
-        out[m] = qmon.series.max() / KB
-    return out
+def alpha_point(alpha: float, duration_us: float = 600.0) -> float:
+    """One alpha setting -> standing queue (KB) in the post-join transient
+    window [305, 450] us (the raw peak includes the pre-notification
+    burst)."""
+    r = run_location("fncc", "last", duration_us=duration_us, alpha=alpha)
+    return r.queue.max_between(us(305), us(450)) / KB
 
 
-def lhcs_contribution(duration_us: float = 800.0) -> Dict[str, float]:
-    """Peak queue (KB) on last-hop congestion: HPCC vs FNCC +- LHCS."""
-    return {
-        "hpcc": run_location("hpcc", "last", duration_us=duration_us).peak_queue_bytes / KB,
-        "fncc_nolhcs": run_location(
-            "fncc", "last", duration_us=duration_us, lhcs_enabled=False
-        ).peak_queue_bytes / KB,
-        "fncc_lhcs": run_location("fncc", "last", duration_us=duration_us).peak_queue_bytes / KB,
-    }
-
-
-def int_staleness_sweep(
-    periods_us: Sequence[float] = (0.0, 1.0, 5.0, 20.0), duration_us: float = 600.0
-) -> Dict[float, float]:
-    """All_INT_Table refresh period -> peak queue KB.  0 = live readout."""
+def _elephant_dumbbell_peak_queue_kb(
+    duration_us: float,
+    switch_config=None,
+    transport_config=None,
+) -> float:
+    """Shared ablation scaffold: two 20 MB staggered elephants on the
+    FNCC 100G dumbbell; returns the peak queue (KB) at the congested
+    egress.  ``switch_config``/``transport_config`` override the FNCC
+    defaults (the one knob each ablation point varies)."""
     from repro.experiments.common import build_cc_env, launch_flows
     from repro.metrics.monitors import QueueSampler
-    from repro.net.switch import SwitchConfig, IntMode
     from repro.sim.engine import Simulator
     from repro.sim.rng import SeedSequenceFactory
     from repro.topo.base import LinkSpec
     from repro.topo.dumbbell import dumbbell
     from repro.traffic.generator import staggered_elephants
 
-    out = {}
-    for period in periods_us:
-        sim = Simulator()
-        env = build_cc_env("fncc")
-        cfg = SwitchConfig(
-            int_mode=IntMode.FNCC,
-            int_table_refresh_ps=us(period) if period > 0 else 0,
-        )
-        topo = dumbbell(
-            sim,
-            n_senders=2,
-            link=LinkSpec(100.0, us(1.5)),
-            switch_config=cfg,
-            seeds=SeedSequenceFactory(1),
-        )
-        flows = staggered_elephants(
-            [h.host_id for h in topo.hosts[:2]],
-            topo.hosts[-1].host_id,
-            20 * MB,
-            us(300),
-        )
-        launch_flows(topo, flows, env)
-        sw = topo.switches[0]
-        port_idx = topo.graph.edges[sw.name, topo.switches[1].name]["ports"][sw.name]
-        qmon = QueueSampler(sim, sw.ports[port_idx], us(1))
-        sim.run(until=us(duration_us))
-        out[period] = qmon.series.max() / KB
-    return out
+    sim = Simulator()
+    env = build_cc_env("fncc")
+    topo_kw = {}
+    if transport_config is not None:
+        topo_kw["transport_config"] = transport_config
+    topo = dumbbell(
+        sim,
+        n_senders=2,
+        link=LinkSpec(100.0, us(1.5)),
+        switch_config=switch_config if switch_config is not None else env.switch_config,
+        seeds=SeedSequenceFactory(1),
+        **topo_kw,
+    )
+    flows = staggered_elephants(
+        [h.host_id for h in topo.hosts[:2]],
+        topo.hosts[-1].host_id,
+        20 * MB,
+        us(300),
+    )
+    launch_flows(topo, flows, env)
+    sw = topo.switches[0]
+    port_idx = topo.graph.edges[sw.name, topo.switches[1].name]["ports"][sw.name]
+    qmon = QueueSampler(sim, sw.ports[port_idx], us(1))
+    sim.run(until=us(duration_us))
+    return qmon.series.max() / KB
 
 
-def main() -> None:
+def ack_point(m: int, duration_us: float = 600.0) -> float:
+    """One ACK-per-m-packets setting -> peak queue KB (dumbbell, FNCC)."""
+    from repro.transport.sender import TransportConfig
+
+    return _elephant_dumbbell_peak_queue_kb(
+        duration_us, transport_config=TransportConfig(ack_every=m)
+    )
+
+
+def lhcs_point(variant: str, duration_us: float = 800.0) -> float:
+    """One LHCS-contribution variant -> peak queue KB on last-hop
+    congestion."""
+    if variant == "hpcc":
+        r = run_location("hpcc", "last", duration_us=duration_us)
+    elif variant == "fncc_nolhcs":
+        r = run_location("fncc", "last", duration_us=duration_us, lhcs_enabled=False)
+    elif variant == "fncc_lhcs":
+        r = run_location("fncc", "last", duration_us=duration_us)
+    else:
+        raise ValueError(f"unknown lhcs_contribution variant {variant!r}")
+    return r.peak_queue_bytes / KB
+
+
+def staleness_point(period_us: float, duration_us: float = 600.0) -> float:
+    """One All_INT_Table refresh period -> peak queue KB.  0 = live
+    readout."""
+    from repro.net.switch import IntMode, SwitchConfig
+
+    cfg = SwitchConfig(
+        int_mode=IntMode.FNCC,
+        int_table_refresh_ps=us(period_us) if period_us > 0 else 0,
+    )
+    return _elephant_dumbbell_peak_queue_kb(duration_us, switch_config=cfg)
+
+
+# -- the sweeps (spec emission + ordered reduce) ----------------------------
+
+_ABLATIONS = "repro.experiments.ablations"
+
+
+def beta_sweep(
+    betas: Sequence[float] = (0.7, 0.8, 0.9, 0.95),
+    duration_us: float = 600.0,
+    jobs: int = 1,
+) -> Dict[float, Tuple[float, float]]:
+    """beta -> (peak queue KB, mean utilization) on last-hop congestion."""
+    specs = [
+        RunSpec(f"{_ABLATIONS}:beta_point", dict(beta=b, duration_us=duration_us), key=b)
+        for b in betas
+    ]
+    return dict(zip(betas, run_sweep(specs, jobs=jobs)))
+
+
+def alpha_sweep(
+    alphas: Sequence[float] = (1.01, 1.05, 1.5, 3.0),
+    duration_us: float = 600.0,
+    jobs: int = 1,
+) -> Dict[float, float]:
+    """alpha -> standing queue (KB) on last-hop congestion.
+
+    A threshold too high to ever fire (u tops out near 1 + q_peak/BDP
+    ~ 1.5 here) degenerates to FNCC-without-LHCS.
+    """
+    specs = [
+        RunSpec(f"{_ABLATIONS}:alpha_point", dict(alpha=a, duration_us=duration_us), key=a)
+        for a in alphas
+    ]
+    return dict(zip(alphas, run_sweep(specs, jobs=jobs)))
+
+
+def ack_coalescing_sweep(
+    ms_: Sequence[int] = (1, 2, 4, 8),
+    duration_us: float = 600.0,
+    jobs: int = 1,
+) -> Dict[int, float]:
+    """ACK-per-m-packets -> peak queue KB (dumbbell, FNCC)."""
+    specs = [
+        RunSpec(f"{_ABLATIONS}:ack_point", dict(m=m, duration_us=duration_us), key=m)
+        for m in ms_
+    ]
+    return dict(zip(ms_, run_sweep(specs, jobs=jobs)))
+
+
+def lhcs_contribution(duration_us: float = 800.0, jobs: int = 1) -> Dict[str, float]:
+    """Peak queue (KB) on last-hop congestion: HPCC vs FNCC +- LHCS."""
+    variants = ("hpcc", "fncc_nolhcs", "fncc_lhcs")
+    specs = [
+        RunSpec(f"{_ABLATIONS}:lhcs_point", dict(variant=v, duration_us=duration_us), key=v)
+        for v in variants
+    ]
+    return dict(zip(variants, run_sweep(specs, jobs=jobs)))
+
+
+def int_staleness_sweep(
+    periods_us: Sequence[float] = (0.0, 1.0, 5.0, 20.0),
+    duration_us: float = 600.0,
+    jobs: int = 1,
+) -> Dict[float, float]:
+    """All_INT_Table refresh period -> peak queue KB.  0 = live readout."""
+    specs = [
+        RunSpec(
+            f"{_ABLATIONS}:staleness_point",
+            dict(period_us=p, duration_us=duration_us),
+            key=p,
+        )
+        for p in periods_us
+    ]
+    return dict(zip(periods_us, run_sweep(specs, jobs=jobs)))
+
+
+def main(jobs: int = 1) -> None:
     print("LHCS contribution (last-hop peak queue, KB):")
-    for k, v in lhcs_contribution().items():
+    for k, v in lhcs_contribution(jobs=jobs).items():
         print(f"  {k:>12}: {v:8.1f}")
     print("beta sweep (peakQ KB, util):")
-    for b, (q, u) in beta_sweep().items():
+    for b, (q, u) in beta_sweep(jobs=jobs).items():
         print(f"  beta={b:4.2f}: {q:8.1f} KB  util={u:.3f}")
     print("alpha sweep (peakQ KB):")
-    for a, q in alpha_sweep().items():
+    for a, q in alpha_sweep(jobs=jobs).items():
         print(f"  alpha={a:4.2f}: {q:8.1f} KB")
     print("ACK coalescing sweep (peakQ KB):")
-    for m, q in ack_coalescing_sweep().items():
+    for m, q in ack_coalescing_sweep(jobs=jobs).items():
         print(f"  m={m}: {q:8.1f} KB")
     print("INT staleness sweep (peakQ KB):")
-    for p, q in int_staleness_sweep().items():
+    for p, q in int_staleness_sweep(jobs=jobs).items():
         print(f"  refresh={p:4.1f}us: {q:8.1f} KB")
 
 

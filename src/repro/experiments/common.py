@@ -153,6 +153,70 @@ class MicrobenchResult:
         return "\n".join(lines)
 
 
+class MicrobenchSummary:
+    """A portable :class:`MicrobenchResult`: the plotted series plus pause
+    and event counters, no topology or simulator attached — what sweep
+    workers return for Fig. 9-style runs."""
+
+    def __init__(
+        self,
+        cc: str,
+        link_rate_gbps: float,
+        queue: "TimeSeries",
+        rates: Dict[int, "TimeSeries"],
+        utilization: "TimeSeries",
+        pause_frames: int,
+        events_dispatched: int,
+        seed: int,
+    ) -> None:
+        self.cc = cc
+        self.link_rate_gbps = link_rate_gbps
+        self.queue = queue
+        self.rates = rates
+        self.utilization = utilization
+        self.pause_frames = pause_frames
+        self.events_dispatched = events_dispatched
+        self.seed = seed
+
+    @property
+    def peak_queue_bytes(self) -> float:
+        return self.queue.max()
+
+    def fingerprint(self) -> tuple:
+        """Every sampled series plus the pause/event counters — the
+        byte-identity witness for serial-vs-parallel comparisons."""
+        return (
+            self.pause_frames,
+            self.events_dispatched,
+            tuple(self.queue.times),
+            tuple(self.queue.values),
+            tuple(
+                (fid, tuple(s.times), tuple(s.values))
+                for fid, s in sorted(self.rates.items())
+            ),
+            tuple(self.utilization.times),
+            tuple(self.utilization.values),
+        )
+
+
+def summarize_microbench(result: "MicrobenchResult", seed: int) -> MicrobenchSummary:
+    return MicrobenchSummary(
+        cc=result.cc,
+        link_rate_gbps=result.link_rate_gbps,
+        queue=result.queue,
+        rates=result.rates,
+        utilization=result.utilization,
+        pause_frames=result.pause_frames,
+        events_dispatched=result.sim.events_dispatched,
+        seed=seed,
+    )
+
+
+def run_microbench_summary(cc: str, seed: int = 1, **kwargs) -> MicrobenchSummary:
+    """Sweep-spec target: one microbench run as a portable summary."""
+    return summarize_microbench(run_microbench(cc, seed=seed, **kwargs), seed)
+
+
 def quick_dumbbell(
     cc: str = "fncc", link_rate_gbps: float = 100.0, **kw
 ) -> "MicrobenchResult":

@@ -10,7 +10,9 @@ plain arguments (``k=8, scale=1.0, n_flows=...``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exec import RunSpec, SweepExecutor
 
 from repro.experiments.common import CcEnv, build_cc_env, launch_flows
 from repro.metrics.fct import (
@@ -59,6 +61,66 @@ class FctResult:
 
     def completed(self) -> int:
         return self.collector.completed()
+
+    def fct_fingerprint(self) -> Tuple[Tuple[int, int], ...]:
+        """(flow_id, fct_ps) pairs, sorted — the determinism witness."""
+        return tuple(
+            sorted((r.flow.flow_id, r.fct_ps) for r in self.collector.records)
+        )
+
+
+class FctSummary:
+    """A portable :class:`FctResult`: the binned table, counts and the FCT
+    fingerprint computed eagerly in the worker, no simulator attached.
+    Exposes the same surface the figure renderers use (``.table``,
+    ``.bins``, ``.completed()``)."""
+
+    def __init__(
+        self,
+        cc: str,
+        workload: str,
+        table: SlowdownTable,
+        bins: Sequence[int],
+        n_flows: int,
+        completed: int,
+        fingerprint: Tuple[Tuple[int, int], ...],
+        events_dispatched: int,
+        seed: int,
+    ) -> None:
+        self.cc = cc
+        self.workload = workload
+        self.table = table
+        self.bins = list(bins)
+        self.n_flows = n_flows
+        self._completed = completed
+        self._fingerprint = fingerprint
+        self.events_dispatched = events_dispatched
+        self.seed = seed
+
+    def completed(self) -> int:
+        return self._completed
+
+    def fct_fingerprint(self) -> Tuple[Tuple[int, int], ...]:
+        return self._fingerprint
+
+
+def summarize_fct_result(result: FctResult, seed: int) -> FctSummary:
+    return FctSummary(
+        cc=result.cc,
+        workload=result.workload,
+        table=result.table,
+        bins=result.bins,
+        n_flows=result.n_flows,
+        completed=result.completed(),
+        fingerprint=result.fct_fingerprint(),
+        events_dispatched=result.sim.events_dispatched,
+        seed=seed,
+    )
+
+
+def run_fct_summary(cc: str, seed: int = 1, **kwargs) -> FctSummary:
+    """Sweep-spec target: one (CC, workload) cell as a portable summary."""
+    return summarize_fct_result(run_fct_experiment(cc, seed=seed, **kwargs), seed)
 
 
 def run_fct_experiment(
@@ -130,8 +192,36 @@ def compare_ccs(
     workload: str = "websearch",
     **kwargs,
 ) -> Dict[str, FctResult]:
-    """One Figs. 14/15 panel family: the same workload under each CC."""
+    """One Figs. 14/15 panel family: the same workload under each CC.
+
+    In-process and rich (live collectors/simulators) — monitors and perf
+    harnesses use this.  Figure runners go through :func:`compare_ccs_sweep`
+    for the pool path.
+    """
     return {cc: run_fct_experiment(cc, workload=workload, **kwargs) for cc in ccs}
+
+
+def compare_ccs_sweep(
+    ccs: Sequence[str] = ("dcqcn", "hpcc", "fncc"),
+    workload: str = "websearch",
+    seed: int = 1,
+    jobs: int = 1,
+    executor: Optional[SweepExecutor] = None,
+    **kwargs,
+) -> Dict[str, FctSummary]:
+    """Pool-capable :func:`compare_ccs`: one spec per CC, portable
+    summaries back, reduced in CC order regardless of completion order."""
+    specs = [
+        RunSpec(
+            fn="repro.experiments.fct_experiment:run_fct_summary",
+            kwargs=dict(cc=cc, workload=workload, **kwargs),
+            key=(workload, cc, seed),
+            seed=seed,
+        )
+        for cc in ccs
+    ]
+    executor = executor or SweepExecutor(jobs=jobs)
+    return {r.value.cc: r.value for r in executor.map(specs)}
 
 
 def format_panel(

@@ -11,8 +11,8 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from repro.experiments.fct_experiment import (
-    FctResult,
-    compare_ccs,
+    FctSummary,
+    compare_ccs_sweep,
     format_panel,
 )
 from repro.metrics.fct import PERCENTILE_COLUMNS
@@ -27,9 +27,12 @@ def run_fig14(
     n_flows: int = 200,
     scale: float = 0.1,
     seed: int = 1,
+    jobs: int = 1,
     **kwargs,
-) -> Dict[str, FctResult]:
-    return compare_ccs(
+) -> Dict[str, FctSummary]:
+    """Per-CC runs are independent, so they fan out over ``jobs`` worker
+    processes (``jobs=1`` = in-process; identical results either way)."""
+    return compare_ccs_sweep(
         ccs,
         workload="websearch",
         k=k,
@@ -37,11 +40,12 @@ def run_fig14(
         n_flows=n_flows,
         scale=scale,
         seed=seed,
+        jobs=jobs,
         **kwargs,
     )
 
 
-def long_flow_median_reduction(results: Dict[str, FctResult], min_size_scaled: int) -> Dict[str, float]:
+def long_flow_median_reduction(results: Dict[str, FctSummary], min_size_scaled: int) -> Dict[str, float]:
     """FNCC's median-slowdown reduction (%) vs each baseline for flows
     larger than ``min_size_scaled`` (1 MB x scale in the paper)."""
     fncc = results["fncc"].table.aggregate("median", min_size=min_size_scaled)
@@ -55,8 +59,8 @@ def long_flow_median_reduction(results: Dict[str, FctResult], min_size_scaled: i
     return out
 
 
-def main() -> None:
-    results = run_fig14()
+def main(jobs: int = 1, seed: int = 1) -> None:
+    results = run_fig14(seed=seed, jobs=jobs)
     for col in PERCENTILE_COLUMNS:
         print(format_panel(results, col, f"\nFig 14 ({col}) — WebSearch @50% load, FCT slowdown"))
     completed = {cc: r.completed() for cc, r in results.items()}

@@ -9,8 +9,8 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from repro.experiments.fct_experiment import (
-    FctResult,
-    compare_ccs,
+    FctSummary,
+    compare_ccs_sweep,
     format_panel,
 )
 from repro.metrics.fct import PERCENTILE_COLUMNS
@@ -25,11 +25,13 @@ def run_fig15(
     n_flows: int = 300,
     scale: float = 1.0,
     seed: int = 1,
+    jobs: int = 1,
     **kwargs,
-) -> Dict[str, FctResult]:
+) -> Dict[str, FctSummary]:
     # Hadoop flows are small (median ~1 KB), so no size scaling is needed
-    # even in pure Python — we run the distribution as published.
-    return compare_ccs(
+    # even in pure Python — we run the distribution as published.  Per-CC
+    # runs fan out over ``jobs`` worker processes (jobs=1 = in-process).
+    return compare_ccs_sweep(
         ccs,
         workload="hadoop",
         k=k,
@@ -37,12 +39,13 @@ def run_fig15(
         n_flows=n_flows,
         scale=scale,
         seed=seed,
+        jobs=jobs,
         **kwargs,
     )
 
 
 def short_flow_p95_reduction(
-    results: Dict[str, FctResult], max_size: int = 100_000
+    results: Dict[str, FctSummary], max_size: int = 100_000
 ) -> Dict[str, float]:
     """FNCC's p95 slowdown reduction (%) vs each baseline for flows shorter
     than ``max_size`` (100 KB in the paper)."""
@@ -57,8 +60,8 @@ def short_flow_p95_reduction(
     return out
 
 
-def main() -> None:
-    results = run_fig15()
+def main(jobs: int = 1, seed: int = 1) -> None:
+    results = run_fig15(seed=seed, jobs=jobs)
     for col in PERCENTILE_COLUMNS:
         print(format_panel(results, col, f"\nFig 15 ({col}) — FB_Hadoop @50% load, FCT slowdown"))
     completed = {cc: r.completed() for cc, r in results.items()}

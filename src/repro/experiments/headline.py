@@ -19,9 +19,9 @@ from repro.experiments.fig15_hadoop import run_fig15, short_flow_p95_reduction
 from repro.units import us
 
 
-def run_headline(seed: int = 1, n_flows: int = 200) -> Dict[str, object]:
-    websearch = run_fig14(n_flows=n_flows, seed=seed)
-    hadoop = run_fig15(n_flows=max(n_flows, 300), seed=seed)
+def run_headline(seed: int = 1, n_flows: int = 200, jobs: int = 1) -> Dict[str, object]:
+    websearch = run_fig14(n_flows=n_flows, seed=seed, jobs=jobs)
+    hadoop = run_fig15(n_flows=max(n_flows, 300), seed=seed, jobs=jobs)
     micro400 = {
         cc: run_microbench(cc, link_rate_gbps=400.0, duration_us=600.0, seed=seed)
         for cc in ("fncc", "hpcc", "dcqcn")
@@ -38,8 +38,8 @@ def run_headline(seed: int = 1, n_flows: int = 200) -> Dict[str, object]:
     }
 
 
-def main() -> None:
-    res = run_headline()
+def main(jobs: int = 1, seed: int = 1) -> None:
+    res = run_headline(seed=seed, jobs=jobs)
     print("Headline claims (paper -> measured)")
     hp = res["hadoop_p95_reduction"]
     print(

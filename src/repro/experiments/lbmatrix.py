@@ -17,10 +17,11 @@ elephants on one uplink while spray/flowlet use the full path set.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.exec import RunSpec, SweepExecutor
 from repro.experiments.common import CcEnv, build_cc_env, launch_flows
 from repro.lb import LbConfig
 from repro.metrics.fct import FctCollector
@@ -77,6 +78,61 @@ class LbCell:
         return tuple(
             sorted((r.flow.flow_id, r.fct_ps) for r in self.collector.records)
         )
+
+
+class LbCellSummary:
+    """A portable :class:`LbCell`: the same statistics surface, computed
+    eagerly so the object crosses process boundaries (no simulator, no
+    collector, no live flows).  This is what sweep workers return."""
+
+    def __init__(
+        self,
+        key: CellKey,
+        seed: int,
+        n_flows: int,
+        completed: int,
+        mean_fct_us: float,
+        p99_fct_us: float,
+        mean_slowdown: float,
+        fingerprint: Tuple[Tuple[int, int], ...],
+        events_dispatched: int,
+    ) -> None:
+        self.key = key
+        self.seed = seed
+        self.n_flows = n_flows
+        self.completed = completed
+        self.mean_fct_us = mean_fct_us
+        self.p99_fct_us = p99_fct_us
+        self.mean_slowdown = mean_slowdown
+        self._fingerprint = fingerprint
+        self.events_dispatched = events_dispatched
+
+    def fct_fingerprint(self) -> Tuple[Tuple[int, int], ...]:
+        return self._fingerprint
+
+
+def summarize_lb_cell(cell: LbCell, seed: int) -> LbCellSummary:
+    return LbCellSummary(
+        key=cell.key,
+        seed=seed,
+        n_flows=cell.n_flows,
+        completed=cell.completed,
+        mean_fct_us=cell.mean_fct_us,
+        p99_fct_us=cell.p99_fct_us,
+        mean_slowdown=cell.mean_slowdown,
+        fingerprint=cell.fct_fingerprint(),
+        events_dispatched=cell.sim.events_dispatched,
+    )
+
+
+def run_lb_cell_summary(seed: int = 1, **kwargs) -> LbCellSummary:
+    """Sweep-spec target: one cell, returned as a portable summary.
+
+    Module-level and data-only by design — this is the function
+    :func:`sweep_specs` names, executed either in-process (``jobs=1``) or
+    in a spawned worker (``jobs>1``) with byte-identical results.
+    """
+    return summarize_lb_cell(run_lb_cell(seed=seed, **kwargs), seed)
 
 
 def make_lb_config(lb: str) -> LbConfig:
@@ -170,38 +226,75 @@ def run_lb_cell(
     return LbCell((topo_name, workload, lb, cc), collector, total, sim)
 
 
+def sweep_specs(
+    lbs: Sequence[str] = LBS,
+    ccs: Sequence[str] = CCS,
+    topos: Sequence[str] = TOPOS,
+    workloads: Sequence[str] = WORKLOADS,
+    seeds: Sequence[int] = (1,),
+    **kwargs,
+) -> List[RunSpec]:
+    """Emit one :class:`~repro.exec.RunSpec` per matrix cell × seed.
+
+    Spec keys are ``(topo, workload, lb, cc, seed)`` in deterministic
+    nesting order (seed outermost), so serial and pooled executions reduce
+    to the same sequence.
+    """
+    specs: List[RunSpec] = []
+    for seed in seeds:
+        for topo_name in topos:
+            for workload in workloads:
+                for lb in lbs:
+                    for cc in ccs:
+                        specs.append(
+                            RunSpec(
+                                fn="repro.experiments.lbmatrix:run_lb_cell_summary",
+                                kwargs=dict(
+                                    lb=lb,
+                                    cc=cc,
+                                    topo_name=topo_name,
+                                    workload=workload,
+                                    **kwargs,
+                                ),
+                                key=(topo_name, workload, lb, cc, seed),
+                                seed=seed,
+                            )
+                        )
+    return specs
+
+
 def run_lbmatrix(
     lbs: Sequence[str] = LBS,
     ccs: Sequence[str] = CCS,
     topos: Sequence[str] = TOPOS,
     workloads: Sequence[str] = WORKLOADS,
     seed: int = 1,
+    jobs: int = 1,
+    executor: Optional[SweepExecutor] = None,
     **kwargs,
-) -> Dict[CellKey, LbCell]:
-    """The full (or any sliced) CC × LB × fabric × traffic sweep."""
-    out: Dict[CellKey, LbCell] = {}
-    for topo_name in topos:
-        for workload in workloads:
-            for lb in lbs:
-                for cc in ccs:
-                    cell = run_lb_cell(
-                        lb,
-                        cc,
-                        topo_name=topo_name,
-                        workload=workload,
-                        seed=seed,
-                        **kwargs,
-                    )
-                    out[cell.key] = cell
+) -> Dict[CellKey, LbCellSummary]:
+    """The full (or any sliced) CC × LB × fabric × traffic sweep.
+
+    Cells are independent runs, so they fan out over ``jobs`` worker
+    processes; results reduce in matrix order either way, and the FCT
+    fingerprints are byte-identical for any ``jobs`` (gated by
+    ``tests/exec/test_parallel_determinism.py``).
+    """
+    specs = sweep_specs(
+        lbs=lbs, ccs=ccs, topos=topos, workloads=workloads, seeds=(seed,), **kwargs
+    )
+    executor = executor or SweepExecutor(jobs=jobs)
+    out: Dict[CellKey, LbCellSummary] = {}
+    for result in executor.map(specs):
+        out[result.value.key] = result.value
     return out
 
 
-def format_matrix(
-    cells: Dict[CellKey, LbCell], column: str = "mean_fct_us"
-) -> str:
-    """One block per (topo, workload): LB rows × CC columns."""
+def format_matrix(cells: Dict[CellKey, object], column: str = "mean_fct_us") -> str:
+    """One block per (topo, workload): LB rows × CC columns (cells may be
+    :class:`LbCell` or :class:`LbCellSummary` — both expose the columns)."""
     lines = []
-    groups: Dict[Tuple[str, str], Dict[Tuple[str, str], LbCell]] = {}
+    groups: Dict[Tuple[str, str], Dict[Tuple[str, str], object]] = {}
     for (topo_name, workload, lb, cc), cell in cells.items():
         groups.setdefault((topo_name, workload), {})[(lb, cc)] = cell
     for (topo_name, workload), block in groups.items():
@@ -219,8 +312,19 @@ def format_matrix(
     return "\n".join(lines)
 
 
-def main(argv: Optional[Sequence[str]] = None) -> None:
-    cells = run_lbmatrix()
+#: The reduced slice ``fncc-exp lbmatrix --quick`` (and CI) runs: the
+#: pool path end to end — spawn, pickling, ordered reduce — in seconds.
+QUICK_SLICE = dict(
+    lbs=("ecmp", "spray"),
+    ccs=("fncc",),
+    topos=("fattree",),
+    workloads=("permutation",),
+)
+
+
+def main(jobs: int = 1, seed: int = 1, quick: bool = False) -> None:
+    slice_kw = QUICK_SLICE if quick else {}
+    cells = run_lbmatrix(seed=seed, jobs=jobs, **slice_kw)
     print("CC × LB matrix (FCTs in µs; lower is better)")
     print(format_matrix(cells, "mean_fct_us"))
     print(format_matrix(cells, "p99_fct_us"))

@@ -49,19 +49,30 @@ def run_flow_level(
     return SlowdownTable.from_records(result.records, bins)
 
 
-def run_paper_scale(seed: int = 1) -> Dict[str, SlowdownTable]:
-    return {
-        "flow-level k=8 full-size (2000 flows)": run_flow_level(
-            k=8, n_flows=2000, scale=1.0, seed=seed
+def run_paper_scale(seed: int = 1, jobs: int = 1) -> Dict[str, SlowdownTable]:
+    """Both scales are independent runs; :class:`SlowdownTable` is already
+    portable, so they fan directly over the sweep executor."""
+    from repro.exec import RunSpec, SweepExecutor
+
+    specs = [
+        RunSpec(
+            fn="repro.experiments.paper_scale:run_flow_level",
+            kwargs=dict(k=8, n_flows=2000, scale=1.0),
+            key="flow-level k=8 full-size (2000 flows)",
+            seed=seed,
         ),
-        "flow-level k=4 scaled x0.1 (2000 flows)": run_flow_level(
-            k=4, n_flows=2000, scale=0.1, seed=seed
+        RunSpec(
+            fn="repro.experiments.paper_scale:run_flow_level",
+            kwargs=dict(k=4, n_flows=2000, scale=0.1),
+            key="flow-level k=4 scaled x0.1 (2000 flows)",
+            seed=seed,
         ),
-    }
+    ]
+    return {r.key: r.value for r in SweepExecutor(jobs=jobs).map(specs)}
 
 
-def main() -> None:
-    tables = run_paper_scale()
+def main(jobs: int = 1, seed: int = 1) -> None:
+    tables = run_paper_scale(seed=seed, jobs=jobs)
     print("Paper-scale cross-validation (max-min flow-level model)")
     for name, table in tables.items():
         counts = table.row_counts()

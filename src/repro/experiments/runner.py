@@ -1,16 +1,19 @@
 """CLI entry point: ``fncc-exp <figure> [options]`` regenerates one paper
-figure's data; ``--list`` shows the catalogue."""
+figure's data; ``--list`` shows the catalogue (sweep-enabled experiments
+are marked — those accept ``--jobs N`` process-pool fan-out and ``--seed``).
+"""
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable, Dict
 
 from repro.experiments.common import quick_dumbbell  # noqa: F401 (re-export)
 
 
-def _experiments() -> Dict[str, Callable[[], None]]:
+def _experiments() -> Dict[str, Callable[..., None]]:
     # Imported lazily so `import repro` stays fast.
     from repro.experiments import (
         ablations,
@@ -47,6 +50,18 @@ def _experiments() -> Dict[str, Callable[[], None]]:
     }
 
 
+def _accepted_options(fn: Callable[..., None]) -> set:
+    """Which of the per-experiment options this main() accepts.  An
+    experiment is 'sweep-enabled' iff its main takes ``jobs`` — the
+    signature is the registry, so a new sweep-enabled experiment shows up
+    in ``--list`` without touching this file."""
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins etc.
+        return set()
+    return {"jobs", "seed", "quick"} & set(params)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="fncc-exp",
@@ -54,18 +69,71 @@ def main(argv=None) -> int:
     )
     parser.add_argument("experiment", nargs="?", help="figure id (see --list)")
     parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep-enabled experiments (see --list); "
+        "1 = in-process, results are identical for any value",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="root seed passthrough (default: the experiment's own default)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced slice for experiments that support it (lbmatrix)",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     table = _experiments()
     if args.list or not args.experiment:
-        for name in table:
-            print(name)
+        for name, fn in table.items():
+            opts = _accepted_options(fn)
+            marker = ""
+            if "jobs" in opts:
+                flags = "/".join(
+                    f"--{o}" for o in ("jobs", "seed", "quick") if o in opts
+                )
+                marker = f"[sweep: {flags}]"
+            print(f"{name:<14}{marker}")
         return 0
     fn = table.get(args.experiment)
     if fn is None:
         print(f"unknown experiment {args.experiment!r}; use --list", file=sys.stderr)
         return 2
-    fn()
+    opts = _accepted_options(fn)
+    kwargs = {}
+    if "jobs" in opts:
+        kwargs["jobs"] = args.jobs
+    elif args.jobs != 1:
+        print(
+            f"note: {args.experiment} is not sweep-enabled; ignoring --jobs",
+            file=sys.stderr,
+        )
+    if args.seed is not None:
+        if "seed" in opts:
+            kwargs["seed"] = args.seed
+        else:
+            print(
+                f"note: {args.experiment} does not take --seed; ignoring",
+                file=sys.stderr,
+            )
+    if args.quick:
+        if "quick" in opts:
+            kwargs["quick"] = True
+        else:
+            print(
+                f"note: {args.experiment} has no --quick slice; ignoring",
+                file=sys.stderr,
+            )
+    fn(**kwargs)
     return 0
 
 

@@ -14,12 +14,15 @@ bench = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(bench)
 
 
-def entry(label, **walls):
-    return {
+def entry(label, jobs=None, **walls):
+    e = {
         "label": label,
         "git_rev": "deadbee",
         "scenarios": {name: {"wall_s": w, "wall_min_s": w} for name, w in walls.items()},
     }
+    if jobs is not None:
+        e["jobs"] = jobs
+    return e
 
 
 class TestCheckRegression:
@@ -82,6 +85,70 @@ class TestCheckRegression:
             bench.main(["--lookahead", "-1", "--no-write"])
 
 
+class TestJobsProvenance:
+    """--check only compares entries measured at the same worker count: a
+    1-job baseline vs an N-job entry is parallelism, not a regression."""
+
+    def test_mismatched_jobs_not_compared(self, capsys):
+        # The 4-job sweep entry is 2x faster than the serial one — that
+        # must not read as (or mask) anything; there is no 4-job
+        # predecessor, so the gate is a clean no-op.
+        t = [entry("serial", jobs=1, sweep=4.0), entry("par", jobs=4, sweep=2.0)]
+        assert bench.check_regression(t) == 0
+        assert "no previous entry measured with jobs=4" in capsys.readouterr().out
+
+    def test_matching_jobs_found_across_mixed_history(self, capsys):
+        # newest jobs=1 must skip the intervening jobs=4 entry and gate
+        # against the older jobs=1 entry — which here is a regression.
+        t = [
+            entry("old-serial", jobs=1, fig9_micro=0.2),
+            entry("par", jobs=4, fig9_micro=0.05),
+            entry("new-serial", jobs=1, fig9_micro=0.4),
+        ]
+        assert bench.check_regression(t) == 1
+        out = capsys.readouterr().out
+        assert "old-serial" in out and "FAIL" in out
+
+    def test_missing_jobs_key_means_serial(self):
+        # Pre-provenance entries (no "jobs" key) were all serial: they
+        # are comparable with explicit jobs=1 entries.
+        t = [entry("legacy", fig9_micro=0.2), entry("new", jobs=1, fig9_micro=0.21)]
+        assert bench.check_regression(t) == 0
+        assert bench.entry_jobs(t[0]) == 1
+
+    def test_same_jobs_no_shared_scenarios_still_loud(self, capsys):
+        t = [
+            entry("a", jobs=2, fig9_micro=0.2),
+            entry("skip", jobs=1, sweep=1.0),
+            entry("b", jobs=2, lbmatrix=1.0),
+        ]
+        assert bench.check_regression(t) == 2
+        assert "share no scenarios" in capsys.readouterr().out
+
+    def test_bad_jobs_rejected_at_cli(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            bench.main(["--jobs", "0", "--no-write"])
+
+    def test_jobs_tag_dropped_when_no_jobs_aware_scenario(self, tmp_path, capsys):
+        # --jobs on a jobs-oblivious scenario changes nothing, so the
+        # entry must record jobs=1 — otherwise --check would match it
+        # against unrelated jobs=4 entries (or never gate it at all).
+        out = tmp_path / "traj.json"
+        assert (
+            bench.main(
+                ["--scenario", "fig9_micro", "--repeats", "1", "--jobs", "4",
+                 "--out", str(out)]
+            )
+            == 0
+        )
+        assert "no effect" in capsys.readouterr().out
+        (entry,) = json.loads(out.read_text())
+        assert entry["jobs"] == 1
+        assert entry["cpu_count"] >= 1
+
+
 class TestQuickSmokeSet:
     def test_pause_storm_is_gated_by_quick_smoke(self):
         # CI runs --quick twice then --check: the pause-transition regime
@@ -89,3 +156,10 @@ class TestQuickSmokeSet:
         # through a pause-free smoke set.
         assert "pause_storm" in bench.QUICK_SCENARIOS
         assert set(bench.QUICK_SCENARIOS) <= set(bench.SCENARIOS)
+
+    def test_sweep_scenario_registered_and_jobs_aware(self):
+        from benchmarks.perf_harness import JOBS_SCENARIOS, SCENARIOS
+
+        assert "sweep" in SCENARIOS
+        assert "sweep" in JOBS_SCENARIOS
+        assert JOBS_SCENARIOS <= set(SCENARIOS)

@@ -156,3 +156,27 @@ class TestRunnerCli:
 
         assert main(["fig1a"]) == 0
         assert "spectrum" in capsys.readouterr().out
+
+    def test_list_marks_sweep_enabled(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        lines = {ln.split()[0]: ln for ln in out.splitlines() if ln.strip()}
+        for name in ("lbmatrix", "fig14", "fig9", "ablations", "paper-scale"):
+            assert "[sweep" in lines[name], name
+        assert "[sweep" not in lines["fig1a"]
+
+    def test_jobs_on_non_sweep_experiment_noted_and_ignored(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["fig1a", "--jobs", "2", "--seed", "9"]) == 0
+        err = capsys.readouterr().err
+        assert "ignoring --jobs" in err
+        assert "ignoring" in err  # --seed note too
+
+    def test_bad_jobs_rejected(self):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["fig1a", "--jobs", "0"])

@@ -1,4 +1,4 @@
-"""Identical configs must produce bit-identical results (DESIGN.md §5)."""
+"""Identical configs must produce bit-identical results (DESIGN.md §4)."""
 
 import pytest
 

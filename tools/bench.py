@@ -16,11 +16,19 @@ Usage::
 
 ``--check`` measures nothing: it reads the trajectory and exits non-zero
 when the newest entry regresses more than ``--threshold`` (default 15%)
-in wall time against the previous entry on any scenario both entries
-measured.  An empty or single-entry trajectory is a clean no-op (exit 0
-with a message — there is nothing to compare yet); two entries with no
-scenario in common are an error (exit 2 — the gate would otherwise pass
-vacuously).  CI runs it after the ``--quick`` smoke append.
+in wall time against the most recent previous entry **with the same
+``jobs`` value** (a 1-job baseline vs an 8-job entry is parallelism, not
+a regression signal) on any scenario both entries measured.  An empty or
+single-entry trajectory — or no prior entry with matching jobs — is a
+clean no-op (exit 0 with a message — there is nothing to compare yet);
+two comparable entries with no scenario in common are an error (exit 2 —
+the gate would otherwise pass vacuously).  CI runs it after the
+``--quick`` smoke append.
+
+``--jobs N`` fans the sweep-capable scenarios (currently ``sweep``) over
+N worker processes via :class:`repro.exec.SweepExecutor`; every entry
+records ``jobs`` and ``cpu_count`` so speedup claims carry their
+provenance.
 
 Works both installed (``pip install -e .``) and from a bare checkout (it
 adds ``src/`` and the repo root to ``sys.path`` itself).
@@ -30,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -42,6 +51,7 @@ for p in (REPO_ROOT / "src", REPO_ROOT):
         sys.path.insert(0, str(p))
 
 from benchmarks.perf_harness import (  # noqa: E402
+    JOBS_SCENARIOS,
     QUICK_SCENARIOS,
     SCENARIOS,
     measure_all,
@@ -72,19 +82,35 @@ def load_trajectory(path: Path) -> list:
     return []
 
 
-def find_baseline(trajectory: list) -> dict:
-    for entry in trajectory:
+def find_baseline(trajectory: list, jobs: int = 1) -> dict:
+    """The speedup reference: the entry tagged ``"label": "baseline"``, else
+    the oldest entry — considering only entries measured with the same
+    ``jobs`` value.  Comparing wall times across worker counts would report
+    parallelism as hot-path speedup (the same rule ``--check`` enforces)."""
+    candidates = [e for e in trajectory if entry_jobs(e) == jobs]
+    for entry in candidates:
         if entry.get("label") == "baseline":
             return entry
-    return trajectory[0] if trajectory else {}
+    return candidates[0] if candidates else {}
+
+
+def entry_jobs(entry: dict) -> int:
+    """The worker count an entry was measured with (pre-provenance entries
+    recorded no ``jobs`` key and were all serial)."""
+    return int(entry.get("jobs", 1))
 
 
 def check_regression(trajectory: list, threshold: float = 0.15) -> int:
-    """Compare the newest trajectory entry against the previous one.
+    """Compare the newest trajectory entry against its baseline.
+
+    The baseline is the most recent *previous* entry with the same
+    ``jobs`` value — wall times measured at different worker counts are
+    parallelism comparisons, not regression signals, so mixed-jobs pairs
+    are never gated against each other.
 
     Returns an exit code: 0 when nothing regressed (or there is nothing to
     compare yet), 1 when at least one shared scenario regressed beyond
-    ``threshold``, 2 when the two newest entries share no scenarios (the
+    ``threshold``, 2 when the two compared entries share no scenarios (the
     gate cannot decide anything — that must not pass silently).
 
     Only scenarios present in both entries are compared (a ``--quick``
@@ -104,13 +130,28 @@ def check_regression(trajectory: list, threshold: float = 0.15) -> int:
             "— nothing to compare against yet"
         )
         return 0
-    prev, newest = trajectory[-2], trajectory[-1]
+    newest = trajectory[-1]
+    jobs = entry_jobs(newest)
+    prev = None
+    prev_pos = -1
+    for pos in range(len(trajectory) - 2, -1, -1):
+        if entry_jobs(trajectory[pos]) == jobs:
+            prev = trajectory[pos]
+            prev_pos = pos
+            break
+    if prev is None:
+        print(
+            f"check: no previous entry measured with jobs={jobs} "
+            f"(newest: {newest.get('label') or newest.get('git_rev')}) — "
+            "nothing comparable to gate against yet"
+        )
+        return 0
     prev_sc = prev.get("scenarios") or {}
     new_sc = newest.get("scenarios") or {}
     shared = sorted(set(prev_sc) & set(new_sc))
     if not shared:
         print(
-            "check: the two newest entries share no scenarios "
+            "check: the compared entries share no scenarios "
             f"({sorted(new_sc) or 'none'} vs {sorted(prev_sc) or 'none'}) — "
             "the gate cannot compare them; measure overlapping scenario sets"
         )
@@ -118,8 +159,8 @@ def check_regression(trajectory: list, threshold: float = 0.15) -> int:
     failures = 0
     print(
         f"check: entry #{len(trajectory)} ({newest.get('label') or newest.get('git_rev')}) "
-        f"vs #{len(trajectory) - 1} ({prev.get('label') or prev.get('git_rev')}), "
-        f"threshold +{threshold:.0%}"
+        f"vs #{prev_pos + 1} ({prev.get('label') or prev.get('git_rev')}), "
+        f"jobs={jobs}, threshold +{threshold:.0%}"
     )
     for name in shared:
         # Prefer the min over repeats: robust to noisy-neighbor spikes on
@@ -174,6 +215,14 @@ def main(argv=None) -> int:
         help="--check regression tolerance (fraction of wall time)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep-capable scenarios (the 'sweep' "
+        "scenario); recorded in the trajectory entry so --check only "
+        "compares entries with matching jobs",
+    )
+    parser.add_argument(
         "--lookahead",
         type=int,
         default=0,
@@ -183,6 +232,8 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     if args.lookahead < 0:
         parser.error("--lookahead must be >= 1 (0 = keep the port default)")
     if args.lookahead:
@@ -203,17 +254,32 @@ def main(argv=None) -> int:
         names = args.scenario or list(SCENARIOS)
         repeats = args.repeats
 
-    print(f"measuring {names} (repeats={repeats}) ...", flush=True)
-    metrics = measure_all(names, repeats=repeats)
+    # An entry is only a jobs=N measurement if a jobs-aware scenario was
+    # actually measured; otherwise --jobs changed nothing and tagging the
+    # entry with it would fragment --check's same-jobs comparison history.
+    effective_jobs = args.jobs if any(n in JOBS_SCENARIOS for n in names) else 1
+    if args.jobs != 1 and effective_jobs == 1:
+        print(
+            f"note: --jobs {args.jobs} has no effect on {names} (only "
+            f"{sorted(JOBS_SCENARIOS)} honour it); recording entry as jobs=1"
+        )
+
+    print(
+        f"measuring {names} (repeats={repeats}, jobs={effective_jobs}) ...",
+        flush=True,
+    )
+    metrics = measure_all(names, repeats=repeats, jobs=effective_jobs)
 
     trajectory = load_trajectory(args.out)
-    baseline = find_baseline(trajectory)
+    baseline = find_baseline(trajectory, jobs=effective_jobs)
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "git_rev": git_rev(),
         "python": platform.python_version(),
         "label": args.label,
         "repeats": repeats,
+        "jobs": effective_jobs,
+        "cpu_count": os.cpu_count(),
         "scenarios": metrics,
     }
     if baseline:
