@@ -75,8 +75,11 @@ def _fig9_micro() -> ScenarioResult:
 def _fig14_websearch() -> ScenarioResult:
     # compare_ccs is the rich in-process path (run_fig14 now reduces to
     # portable summaries); same workload/defaults as the figure runner.
+    # Results carry their topologies, so this scenario records frame_hops
+    # like the microbench ones (an entry without it cannot distinguish
+    # event-count wins from per-event wins).
     results = compare_ccs(("fncc",), workload="websearch", n_flows=200, seed=1)
-    return [r.sim for r in results.values()], []
+    return [r.sim for r in results.values()], [r.topo for r in results.values()]
 
 
 def _lbmatrix() -> ScenarioResult:
@@ -84,7 +87,7 @@ def _lbmatrix() -> ScenarioResult:
     conweave = run_lb_cell(
         "conweave", "fncc", workload="permutation", perm_flow_bytes=600 * KB, seed=1
     )
-    return [spray.sim, conweave.sim], []
+    return [spray.sim, conweave.sim], [spray.topo, conweave.topo]
 
 
 #: pause_storm knobs — sized so the pre-fix O(backlog) port spends seconds
@@ -169,10 +172,16 @@ SWEEP_SLICE = dict(
 def _sweep(jobs: int = 1) -> ScenarioResult:
     specs = sweep_specs(seeds=SWEEP_SEEDS, **SWEEP_SLICE)
     results = SweepExecutor(jobs=jobs).map(specs)
-    # Workers own the simulators; the summaries carry the dispatch counts
-    # home, so the events metric stays comparable across job counts.
+    # Workers own the simulators; the summaries carry the dispatch and
+    # frame-hop counts home, so both metrics stay comparable across job
+    # counts (``frame_hops`` rides a duck-typed topo object — see
+    # :func:`_frame_hops`).
     events = sum(r.value.events_dispatched for r in results)
-    return [SimpleNamespace(events_dispatched=events)], []
+    hops = sum(r.value.frame_hops for r in results)
+    return (
+        [SimpleNamespace(events_dispatched=events)],
+        [SimpleNamespace(frame_hops=hops)],
+    )
 
 
 SCENARIOS: Dict[str, Callable[..., ScenarioResult]] = {
@@ -196,13 +205,15 @@ QUICK_SCENARIOS = ("fig9_micro", "pause_storm")
 
 
 def _frame_hops(topos: List[object]) -> int:
+    from repro.metrics.monitors import topo_frame_hops
+
     total = 0
     for topo in topos:
-        for node in list(getattr(topo, "hosts", [])) + list(
-            getattr(topo, "switches", [])
-        ):
-            for port in node.ports:
-                total += port.stats.tx_packets
+        # Pool-path scenarios pre-sum in the worker (live ports never
+        # cross process boundaries) and ship the count on a duck-typed
+        # topo object.
+        pre = getattr(topo, "frame_hops", None)
+        total += pre if pre is not None else topo_frame_hops(topo)
     return total
 
 

@@ -47,6 +47,7 @@ class FctResult:
         bins: Sequence[int],
         n_flows: int,
         sim: Simulator,
+        topo=None,
     ) -> None:
         self.cc = cc
         self.workload = workload
@@ -54,6 +55,9 @@ class FctResult:
         self.bins = list(bins)
         self.n_flows = n_flows
         self.sim = sim
+        # The live fabric (perf harness reads per-port tx counters off it
+        # for the frame_hops metric); None for legacy callers.
+        self.topo = topo
 
     @property
     def table(self) -> SlowdownTable:
@@ -86,6 +90,7 @@ class FctSummary:
         fingerprint: Tuple[Tuple[int, int], ...],
         events_dispatched: int,
         seed: int,
+        frame_hops: int = 0,
     ) -> None:
         self.cc = cc
         self.workload = workload
@@ -96,6 +101,9 @@ class FctSummary:
         self._fingerprint = fingerprint
         self.events_dispatched = events_dispatched
         self.seed = seed
+        # Frames delivered across any link (in-worker sum of per-port tx
+        # counters) — the perf harness's simulated-work unit.
+        self.frame_hops = frame_hops
 
     def completed(self) -> int:
         return self._completed
@@ -105,6 +113,9 @@ class FctSummary:
 
 
 def summarize_fct_result(result: FctResult, seed: int) -> FctSummary:
+    from repro.metrics.monitors import topo_frame_hops
+
+    topo = result.topo
     return FctSummary(
         cc=result.cc,
         workload=result.workload,
@@ -115,6 +126,7 @@ def summarize_fct_result(result: FctResult, seed: int) -> FctSummary:
         fingerprint=result.fct_fingerprint(),
         events_dispatched=result.sim.events_dispatched,
         seed=seed,
+        frame_hops=topo_frame_hops(topo) if topo is not None else 0,
     )
 
 
@@ -184,7 +196,7 @@ def run_fct_experiment(
         sim.run(until=t)
         if sim.peek() is None:
             break
-    return FctResult(cc, workload, collector, bins, n_flows, sim)
+    return FctResult(cc, workload, collector, bins, n_flows, sim, topo=topo)
 
 
 def compare_ccs(

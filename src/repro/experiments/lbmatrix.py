@@ -47,12 +47,20 @@ class LbCell:
     """One matrix cell's outcome."""
 
     def __init__(
-        self, key: CellKey, collector: FctCollector, n_flows: int, sim: Simulator
+        self,
+        key: CellKey,
+        collector: FctCollector,
+        n_flows: int,
+        sim: Simulator,
+        topo=None,
     ) -> None:
         self.key = key
         self.collector = collector
         self.n_flows = n_flows
         self.sim = sim
+        # The live fabric (per-port tx counters feed the frame_hops
+        # metric); None for legacy callers.
+        self.topo = topo
 
     @property
     def completed(self) -> int:
@@ -96,6 +104,7 @@ class LbCellSummary:
         mean_slowdown: float,
         fingerprint: Tuple[Tuple[int, int], ...],
         events_dispatched: int,
+        frame_hops: int = 0,
     ) -> None:
         self.key = key
         self.seed = seed
@@ -106,12 +115,18 @@ class LbCellSummary:
         self.mean_slowdown = mean_slowdown
         self._fingerprint = fingerprint
         self.events_dispatched = events_dispatched
+        # Frames delivered across any link (in-worker sum of per-port tx
+        # counters) — the perf harness's simulated-work unit.
+        self.frame_hops = frame_hops
 
     def fct_fingerprint(self) -> Tuple[Tuple[int, int], ...]:
         return self._fingerprint
 
 
 def summarize_lb_cell(cell: LbCell, seed: int) -> LbCellSummary:
+    from repro.metrics.monitors import topo_frame_hops
+
+    topo = cell.topo
     return LbCellSummary(
         key=cell.key,
         seed=seed,
@@ -122,6 +137,7 @@ def summarize_lb_cell(cell: LbCell, seed: int) -> LbCellSummary:
         mean_slowdown=cell.mean_slowdown,
         fingerprint=cell.fct_fingerprint(),
         events_dispatched=cell.sim.events_dispatched,
+        frame_hops=topo_frame_hops(topo) if topo is not None else 0,
     )
 
 
@@ -223,7 +239,7 @@ def run_lb_cell(
         sim.run(until=t)
         if sim.peek() is None:
             break
-    return LbCell((topo_name, workload, lb, cc), collector, total, sim)
+    return LbCell((topo_name, workload, lb, cc), collector, total, sim, topo=topo)
 
 
 def sweep_specs(

@@ -84,6 +84,14 @@ class LoadBalancer:
     name: str = "base"
     #: True when the strategy can deliver a flow's packets out of order.
     reorders: bool = False
+    #: True when the router is a *pure static per-flow function* — the out
+    #: port for a given (src, dst, flow_id) never depends on arrival time,
+    #: queue state, or per-packet draws.  Only such strategies let the
+    #: frame-train fast path (DESIGN.md §2.2) cache one routing decision
+    #: for a whole back-to-back burst; per-packet strategies (spray,
+    #: flowlet, conweave) keep this False, which makes every switch they
+    #: are installed on refuse train fusion and stay per-frame.
+    train_transparent: bool = False
 
     def __init__(self, max_cache_entries: int = 1 << 16) -> None:
         if max_cache_entries < 1:
@@ -194,6 +202,26 @@ def install_lb(
         lb = config.build()
         sw.router = lb.bind(sw, tables[sw.name], seeds=topo.seeds)
         sw.lb = lb
+        # Train pass-through predicate inputs (net/port.py fused path):
+        # the exact closure this install produced, and the live gate — a
+        # static per-flow strategy on a zero-latency switch.  PacketTap
+        # additionally clears/restores ``_train_ok`` while installed.  A
+        # router swapped in by hand after install no longer matches
+        # ``_lb_router`` and the switch silently refuses fusion.  Any
+        # previously memoized routing decisions on adjacent ports belong
+        # to the old router: drop them.
+        sw._lb_router = sw.router
+        # Single-definition gate recompute (Switch._recompute_train_ok):
+        # in particular a wrapped ``receive`` (PacketTap, ad-hoc spy —
+        # always an instance-dict assignment) keeps the gate closed even
+        # across a mid-run strategy reinstall, else the fused path would
+        # bypass the wrapper.
+        sw._recompute_train_ok()
+        for port in sw.ports:
+            port._rt_cache.clear()
+            peer = port.peer
+            if peer is not None:
+                peer._rt_cache.clear()
         lbs.append(lb)
     if any(lb.reorders for lb in lbs):
         tc = topo.transport_config

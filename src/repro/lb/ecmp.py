@@ -33,6 +33,10 @@ class EcmpLB(LoadBalancer):
 
     name = "ecmp"
     reorders = False
+    # The hash is a pure function of (src, dst, flow_id): one routing
+    # decision is valid for a whole same-flow frame train.  The bounded
+    # memo does not break this — a cleared entry recomputes identically.
+    train_transparent = True
 
     def __init__(
         self,

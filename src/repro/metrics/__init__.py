@@ -14,6 +14,8 @@ from repro.metrics.monitors import (
     UtilizationSampler,
     pause_frame_count,
     pfc_frame_totals,
+    frame_hops,
+    topo_frame_hops,
 )
 from repro.metrics.ideal import ideal_fct_ps
 from repro.metrics.fct import FctCollector, SlowdownTable, SIZE_BINS_WEBSEARCH, SIZE_BINS_HADOOP
@@ -25,6 +27,8 @@ __all__ = [
     "UtilizationSampler",
     "pause_frame_count",
     "pfc_frame_totals",
+    "frame_hops",
+    "topo_frame_hops",
     "ideal_fct_ps",
     "FctCollector",
     "SlowdownTable",

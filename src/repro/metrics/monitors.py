@@ -90,6 +90,25 @@ def pause_frame_count(switches: Iterable["Switch"]) -> int:
     return sum(sw.total_pause_frames() for sw in switches)
 
 
+def frame_hops(nodes: Iterable[object]) -> int:
+    """Total frames delivered across any link by ``nodes``' ports (sum of
+    per-port tx counters) — the engine-representation-independent unit of
+    simulated work the perf harness records as ``frame_hops``.  Frames
+    that rode the fused train path count individually here (the train
+    machinery increments the same per-frame counters)."""
+    total = 0
+    for node in nodes:
+        for port in node.ports:
+            total += port.tx_packets
+    return total
+
+
+def topo_frame_hops(topo) -> int:
+    """:func:`frame_hops` over every node of a topology-like object (all
+    hosts and switches) — the one place the node-list expansion lives."""
+    return frame_hops(list(getattr(topo, "hosts", ())) + list(getattr(topo, "switches", ())))
+
+
 def pfc_frame_totals(nodes: Iterable[object]) -> Dict[str, int]:
     """Sum the four PFC frame counters over every port of ``nodes``
     (hosts and switches alike).

@@ -53,6 +53,21 @@ class PacketTap:
         self._pool = getattr(node, "pkt_pool", None)
         if self._pool is not None:
             self._pool.pause_recycling()
+        # Tapping a switch forces the frame-train fast path (DESIGN.md
+        # §2.2) back to per-frame delivery through this node, so the spy
+        # observes every frame individually: clear the train pass-through
+        # gate for the tap's lifetime.  (Hosts need nothing — trains never
+        # fuse into hosts.)  Ad-hoc spies that wrap a *switch's* receive
+        # without going through PacketTap must do the same.
+        self._gated_switch = hasattr(node, "_train_ok")
+        if self._gated_switch:
+            node._train_ok = False
+        # Remember whether ``receive`` was already an instance attribute
+        # (a nested tap / earlier spy): uninstall must delete our wrapper
+        # rather than assign the bound original back, or the instance dict
+        # would keep shadowing the class method forever (and keep the
+        # train gate closed).
+        self._had_instance_receive = "receive" in node.__dict__
         node.receive = self._spy  # type: ignore[method-assign]
 
     def _matches(self, pkt: Packet) -> bool:
@@ -73,11 +88,24 @@ class PacketTap:
         self._orig(pkt, in_port)
 
     def uninstall(self) -> None:
-        """Restore the node's original receive method (and packet pool)."""
+        """Restore the node's original receive method (and packet pool,
+        and the train pass-through gate on switches)."""
         if self._installed:
-            self.node.receive = self._orig  # type: ignore[method-assign]
+            node = self.node
+            if self._had_instance_receive:
+                node.receive = self._orig  # type: ignore[method-assign]
+            else:
+                del node.receive  # pristine: the class method resurfaces
             if self._pool is not None:
                 self._pool.resume_recycling()
+            if self._gated_switch:
+                # Recompute rather than restore a snapshot: the strategy
+                # may have been reinstalled while the tap was up (a
+                # snapshot would clobber the newer gate value), and with
+                # nested taps the outermost uninstall re-derives the truth
+                # (an inner wrapper still in __dict__ keeps the gate
+                # closed).  Single definition: Switch._recompute_train_ok.
+                node._recompute_train_ok()
             self._installed = False
 
     # -- conveniences -----------------------------------------------------------

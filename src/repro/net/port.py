@@ -48,6 +48,22 @@ window has not admitted yet, which count identically); :meth:`Port._prune`
 retires accounting entries as the clock passes their start times, so
 ``qbytes_total`` reads exactly what the old eager engine reported (waiting
 bytes, excluding the frame in service) at amortized O(1) per frame.
+
+Frame trains (DESIGN.md §2.2): back-to-back bursts crossing an untapped,
+zero-latency switch with a *static per-flow* router ride a **fused hop
+pipeline** — :meth:`Port._tx_deliver` executes departure bookkeeping, the
+switch forwarding decision (memoized per same-flow train), and the egress
+enqueue in one pass, per frame, in the exact order and at the exact
+timestamps of the per-frame path, so every counter, RNG draw and wire time
+is byte-identical with trains off.  On the commit side, train formation
+widens the pending window from ``commit_lookahead`` to ``train_max`` on
+pause-free ports, batching the lazy top-up; the PR 3 invariant (identical
+wire schedule for every window size) makes the widening unconditionally
+exact.  Any per-frame mechanism splits the train back to the classic
+path the moment it needs frame granularity: control frames, a PFC-paused
+or previously XOFF'd port, a PacketTap or test spy wrapping ``receive``,
+a per-packet LB strategy (spray/flowlet/conweave), switch latency, or a
+host endpoint (ACK/CC semantics are per-frame by construction).
 """
 
 from __future__ import annotations
@@ -57,7 +73,7 @@ from collections import deque
 from heapq import heappush
 from typing import TYPE_CHECKING, List, Optional
 
-from repro.net.packet import DATA, PAUSE, Packet
+from repro.net.packet import ACK, DATA, PAUSE, RESUME, INTRecord, Packet
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.node import Node
@@ -153,6 +169,35 @@ CTRL_PRIO = -1
 #: wire schedule.
 COMMIT_LOOKAHEAD = 3
 
+#: Default train formation cap: how many frames a single lazy top-up may
+#: commit on a pause-free port when trains are enabled (the widened window
+#: batches the per-delivery ``_commit`` cost across a burst).  Identical
+#: wire schedule for any value >= 1 (the PR 3 invariant); the only cost of
+#: a larger value is that a PFC XOFF on a previously pause-free port
+#: re-sequences O(train_max) frames once, after which the port drops back
+#: to the tight ``commit_lookahead`` window for good.
+TRAIN_MAX = 8
+
+# Lazily resolved symbols from repro.net.switch (circular import: switch
+# imports port for EcnConfig/Port).  Filled by _resolve_train_symbols().
+_Switch = None
+_HPCC = None
+_FNCC = None
+_NONE_INT = None
+_INT_BYTES = 8
+
+
+def _resolve_train_symbols():
+    global _Switch, _HPCC, _FNCC, _NONE_INT, _INT_BYTES
+    from repro.net.switch import INT_RECORD_BYTES, IntMode, Switch
+
+    _Switch = Switch
+    _HPCC = IntMode.HPCC
+    _FNCC = IntMode.FNCC
+    _NONE_INT = IntMode.NONE
+    _INT_BYTES = INT_RECORD_BYTES
+    return Switch
+
 
 class Port:
     """One end of a full-duplex link, owned by a :class:`~repro.net.node.Node`."""
@@ -179,12 +224,19 @@ class Port:
         "ecn_rng",
         "next_free_ps",
         "commit_lookahead",
+        "train_max",
+        "train_frames",
         "_inflight",
         "_acct",
         "_queued_bytes",
         "_uncommitted",
         "_del_ev",
         "_departure_hook",
+        "_ser",
+        "_trains",
+        "_own_sw",
+        "_peer_sw",
+        "_rt_cache",
     )
 
     def __init__(
@@ -226,6 +278,28 @@ class Port:
         # of the serializer (plus the cover floor); a PFC transition costs
         # O(commit_lookahead), never O(backlog).
         self.commit_lookahead = COMMIT_LOOKAHEAD
+        # Train formation: the widened pending-window cap a lazy top-up may
+        # fill to on a pause-free port when trains are enabled (exact for
+        # any value — see the module docstring).
+        self.train_max = TRAIN_MAX
+        self.train_frames = 0  # frame-hops that rode the fused train path
+        # Per-port serialization-time memo: size -> round(size*8000/rate).
+        # The rate is fixed for the port's lifetime and the memo stores the
+        # very expression the hot paths inline, so a hit is bit-exact.
+        self._ser: dict = {}
+        # Snapshot of the engine's train switch (A/B runs build fresh
+        # Simulators; ports deliberately do not track mid-run flips).
+        self._trains = sim.trains_enabled
+        # Fused-path classification (lazy — peers are wired after
+        # construction): False = not yet classified, None = ineligible.
+        self._own_sw = False
+        self._peer_sw = False
+        # Train route memo: static per-flow routing decisions, keyed by a
+        # packed (flow_id, dst) int.  Valid only under the train predicate
+        # (static per-flow router); repro.lb.install_lb clears it when a
+        # new strategy is installed, and it is bounded (cleared on
+        # overflow — every entry is recomputable from the packet alone).
+        self._rt_cache: dict = {}
         # Committed frames, in service order: (arrival_ps, pkt).  The single
         # delivery event (_del_ev) is armed for the head entry.
         self._inflight: deque = deque()
@@ -325,8 +399,12 @@ class Port:
                     self.stats.ecn_marked += 1
             nf = self.next_free_ps
             start = nf if nf > now else now
-            # Inline serialization_ps: same expression, same rounding.
-            nf = start + round(size * 8000 / self.rate_gbps)
+            # Serialization memo (same expression, same rounding on miss).
+            ser_map = self._ser
+            ser = ser_map.get(size)
+            if ser is None:
+                ser = ser_map[size] = round(size * 8000 / self.rate_gbps)
+            nf = start + ser
             inflight = self._inflight
             inflight.append((nf + self.prop_delay_ps, pkt))
             self.next_free_ps = nf
@@ -470,12 +548,16 @@ class Port:
         acct = self._acct
         inflight = self._inflight
         ctrl = self.ctrl
+        ser_map = self._ser
         while ctrl:
             pkt = ctrl.popleft()
             self._uncommitted -= 1
             start = nf
-            # Inline serialization_ps: same expression, same rounding.
-            nf = start + round(pkt.size * 8000 / rate)
+            # Serialization memo (same expression, same rounding on miss).
+            ser = ser_map.get(pkt.size)
+            if ser is None:
+                ser = ser_map[pkt.size] = round(pkt.size * 8000 / rate)
+            nf = start + ser
             inflight.append((nf + prop, pkt))
             if start > now:
                 acct.append((start, 0, CTRL_PRIO, pkt))
@@ -483,6 +565,16 @@ class Port:
         paused = self.paused
         qb = self.qbytes
         k = self.commit_lookahead
+        if self._peer_sw and k < self.train_max and self.stats.pause_received == 0:
+            # Train formation: on a pause-free, train-eligible port (the
+            # peer is a stock switch — classified at first delivery) the
+            # pending window may batch-fill to train_max, amortizing the
+            # per-delivery top-up over a burst.  Exact for any cap (PR 3
+            # invariant); a port that has been XOFF'd keeps the tight
+            # window so pause storms stay O(commit_lookahead) per
+            # transition, and test/sink fabrics keep the documented
+            # commit_lookahead bound.
+            k = self.train_max
         # The cover target is the armed delivery's arrival: fixed for the
         # whole call (commits append at the FIFO tail, never the head).
         cover = inflight[0][0] if inflight else None
@@ -501,7 +593,10 @@ class Port:
                 self._uncommitted -= 1
                 size = pkt.size
                 start = nf
-                nf = start + round(size * 8000 / rate)
+                ser = ser_map.get(size)
+                if ser is None:
+                    ser = ser_map[size] = round(size * 8000 / rate)
+                nf = start + ser
                 arrival = nf + prop
                 inflight.append((arrival, pkt))
                 if cover is None:
@@ -517,22 +612,237 @@ class Port:
         if self._del_ev is None and inflight:
             self._del_ev = self.sim.schedule_at(inflight[0][0], self._tx_deliver, None)
 
+    def _classify_train_path(self):
+        """One-time (per port) static classification for the fused train
+        path.  The owner side qualifies when its departure hook is absent
+        or the stock ``Switch.on_departure``; the peer side when trains
+        are enabled and the peer node is a switch whose class-level
+        ``receive`` is the stock one.  The *dynamic* split triggers —
+        PacketTap wrapping, router identity, strategy staticness — live in
+        the peer switch's ``_train_ok`` flag plus the per-frame router
+        identity compare; class-level overrides follow the same bind-once
+        discipline as ``_departure_hook``."""
+        Switch = _Switch if _Switch is not None else _resolve_train_symbols()
+        node = self.node
+        self._own_sw = (
+            node if type(node).on_departure is Switch.on_departure else None
+        )
+        peer = self.peer
+        pn = peer.node if peer is not None else None
+        B = (
+            pn
+            if self._trains
+            and pn is not None
+            and type(pn).receive is Switch.receive
+            else None
+        )
+        self._peer_sw = B
+        return B
+
     def _tx_deliver(self, _arg) -> None:
         """The per-frame delivery event: departure bookkeeping on this port,
-        ingress at the peer, then re-arm for the next in-flight frame."""
+        ingress at the peer, then re-arm for the next in-flight frame.
+
+        Frame-train fast path (DESIGN.md §2.2): when the hop terminates at
+        an untapped, zero-latency switch whose installed router is a static
+        per-flow function, the whole frame-hop — departure bookkeeping,
+        forwarding decision (memoized per same-flow train), shared-buffer
+        admission, PFC accounting, ECN draw and egress enqueue — runs as
+        one fused pass below, replicating the classic
+        ``on_departure -> receive -> enqueue`` chain operation for
+        operation (keep the three in sync!).  Same order, same timestamps,
+        same RNG draws: byte-identical observables, pinned by
+        tests/property/test_trains.py.  Any split trigger (control frame,
+        tap, per-packet LB, latency, host peer) falls through to the
+        classic calls."""
         inflight = self._inflight
         pkt = inflight.popleft()[1]
-        self.tx_bytes += pkt.size
+        size = pkt.size
+        self.tx_bytes += size
         self.tx_packets += 1
-        # Node hook: INT stamping (switch), PFC ingress-counter release.
-        hook = self._departure_hook
-        if hook is not None:
-            hook(pkt, self)
+        kind = pkt.kind
+        sim = self.sim
         peer = self.peer
-        peer.rx_packets += 1
-        peer.rx_bytes += pkt.size  # after on_departure: INT bytes included
-        pkt.in_port = peer.index
-        peer.node.receive(pkt, peer.index)
+        B = self._peer_sw
+        if B is False:
+            B = self._classify_train_path()
+        if (
+            B is not None
+            and kind < PAUSE  # control frames always go per-frame
+            and B._train_ok  # static LB, zero latency, untapped (live)
+            and B.router is B._lb_router  # router not swapped by hand
+        ):
+            # ---- fused frame-train hop --------------------------------
+            self.train_frames += 1
+            A = self._own_sw
+            if A is not None:
+                # Switch.on_departure, inlined.
+                A.buffer_used -= size
+                if A._pfc_on:
+                    in_a = pkt.in_port
+                    prio = pkt.priority
+                    counters = A._pfc_bytes[in_a]
+                    counters[prio] -= size
+                    if counters[prio] <= A._xon and A._pfc_paused_up[in_a][prio]:
+                        A._pfc_paused_up[in_a][prio] = False
+                        A._send_pfc(in_a, prio, RESUME)
+                mode = A._int_mode
+                if mode is not _NONE_INT:
+                    if mode is _HPCC:
+                        if kind == DATA:
+                            now = sim.now
+                            acct = self._acct
+                            if acct and acct[0][0] <= now:
+                                self._prune(now)
+                            rec = INTRecord(
+                                self.rate_gbps, now, self.tx_bytes, self._queued_bytes
+                            )
+                            recs = pkt.int_records
+                            if recs is None:
+                                pkt.int_records = [rec]
+                            else:
+                                recs.append(rec)
+                            pkt.size += _INT_BYTES
+                    elif kind == ACK:  # FNCC
+                        snap = A._int_snapshot
+                        rec = INTRecord.__new__(INTRecord)
+                        if snap is not None:
+                            s = snap[pkt.fncc_in_port]
+                            rec.bandwidth_gbps = s.bandwidth_gbps
+                            rec.ts = s.ts
+                            rec.tx_bytes = s.tx_bytes
+                            rec.qlen = s.qlen
+                        else:
+                            p = A.ports[pkt.fncc_in_port]
+                            now = sim.now
+                            acct = p._acct
+                            if acct and acct[0][0] <= now:
+                                p._prune(now)
+                            rec.bandwidth_gbps = p.rate_gbps
+                            rec.ts = now
+                            rec.tx_bytes = p.tx_bytes
+                            rec.qlen = p._queued_bytes
+                        recs = pkt.int_records
+                        if recs is None:
+                            pkt.int_records = [rec]
+                        else:
+                            recs.append(rec)
+                        pkt.size += _INT_BYTES
+                if kind == ACK and pkt.fncc_in_port >= 0:
+                    ctrl = A.port_controllers[pkt.fncc_in_port]
+                    if ctrl is not None:
+                        rate = ctrl.fair_rate_gbps
+                        if pkt.rocc_rate_gbps is None or rate < pkt.rocc_rate_gbps:
+                            pkt.rocc_rate_gbps = rate
+            else:
+                hook = self._departure_hook
+                if hook is not None:  # non-switch custom hook: honor it
+                    hook(pkt, self)
+            size = pkt.size  # re-read: INT stamping may have grown the frame
+            peer.rx_packets += 1
+            peer.rx_bytes += size
+            in_p = peer.index
+            pkt.in_port = in_p
+            # Switch.receive, inlined.
+            if kind == ACK:
+                pkt.fncc_in_port = in_p
+            pkt.hops += 1
+            rt = self._rt_cache
+            key = pkt.flow_id * 1048576 + pkt.dst  # packed (flow_id, dst)
+            out = rt.get(key)
+            if out is None:
+                if len(rt) >= 4096:
+                    rt.clear()
+                out = rt[key] = B._lb_router(B, pkt)
+            if out == in_p:
+                raise RuntimeError(
+                    f"{B.name}: routing loop, {pkt!r} back out port {out}"
+                )
+            if B.buffer_used + size > B._buffer_bytes:  # shared-buffer admission
+                B.drops += 1
+                peer.stats.drops += 1
+            else:
+                B.buffer_used += size
+                if B._pfc_on:
+                    prio = pkt.priority
+                    counters = B._pfc_bytes[in_p]
+                    counters[prio] += size
+                    if counters[prio] >= B._xoff and not B._pfc_paused_up[in_p][prio]:
+                        B._pfc_paused_up[in_p][prio] = True
+                        B._send_pfc(in_p, prio, PAUSE)
+                # Port.enqueue (data branches), inlined.
+                eg = B.ports[out]
+                now = sim.now
+                acct_e = eg._acct
+                if acct_e and acct_e[0][0] <= now:
+                    eg._prune(now)
+                prio = pkt.priority
+                if (
+                    eg._uncommitted == 0
+                    and not eg.paused[prio]
+                    and (not acct_e or prio >= acct_e[-1][2])
+                    and (
+                        len(acct_e) < eg.commit_lookahead
+                        or eg.next_free_ps < eg._inflight[0][0]
+                    )
+                ):
+                    qt = eg._queued_bytes
+                    ecn = eg.ecn
+                    if qt and ecn is not None and kind == DATA and not pkt.ecn:
+                        p = ecn.mark_probability(qt)
+                        if p > 0.0 and (p >= 1.0 or eg.ecn_rng.random() < p):
+                            pkt.ecn = True
+                            eg.stats.ecn_marked += 1
+                    nf = eg.next_free_ps
+                    start = nf if nf > now else now
+                    ser_map = eg._ser
+                    ser = ser_map.get(size)
+                    if ser is None:
+                        ser = ser_map[size] = round(size * 8000 / eg.rate_gbps)
+                    nf = start + ser
+                    inflight_e = eg._inflight
+                    inflight_e.append((nf + eg.prop_delay_ps, pkt))
+                    eg.next_free_ps = nf
+                    if start > now:
+                        acct_e.append((start, size, prio, pkt))
+                        eg.qbytes[prio] += size
+                        qt = eg._queued_bytes = qt + size
+                        if qt > eg.max_qlen:
+                            eg.max_qlen = qt
+                    if eg._del_ev is None:
+                        eg._del_ev = sim.schedule_at(
+                            inflight_e[0][0], eg._tx_deliver, None
+                        )
+                else:
+                    ecn = eg.ecn
+                    if ecn is not None and kind == DATA and not pkt.ecn:
+                        p = ecn.mark_probability(eg._queued_bytes)
+                        if p > 0.0 and (p >= 1.0 or eg.ecn_rng.random() < p):
+                            pkt.ecn = True
+                            eg.stats.ecn_marked += 1
+                    eg.queues[prio].append(pkt)
+                    eg._uncommitted += 1
+                    eg.qbytes[prio] += size
+                    qt = eg._queued_bytes = eg._queued_bytes + size
+                    if qt > eg.max_qlen:
+                        eg.max_qlen = qt
+                    if acct_e and prio < acct_e[-1][2]:
+                        eg._uncommit_pending(now)
+                        eg._commit(now)
+                    elif len(acct_e) < eg.commit_lookahead or not (
+                        eg._inflight and eg.next_free_ps >= eg._inflight[0][0]
+                    ):
+                        eg._commit(now)
+        else:
+            # ---- classic per-frame path -------------------------------
+            # Node hook: INT stamping (switch), PFC ingress-counter release.
+            hook = self._departure_hook
+            if hook is not None:
+                hook(pkt, self)
+            peer.rx_packets += 1
+            peer.rx_bytes += pkt.size  # after on_departure: INT bytes included
+            pkt.in_port = peer.index
+            peer.node.receive(pkt, peer.index)
         if self._uncommitted:
             # Bounded lazy commit: a delivery slot freed, so top the
             # committed window back up from the parked queues.  _commit
@@ -540,17 +850,30 @@ class Port:
             # re-arm below picks up whatever became the FIFO head.  The
             # hook/receive calls above cannot re-enter this port: PFC and
             # forwarding act on other ports, and the peer's reactions ride
-            # their own events.
-            topup_now = self.sim.now
-            if self._acct:
+            # their own events.  The call is skipped while the pending
+            # window is still at/above commit_lookahead *and* covered.
+            # Deliberate hysteresis: the refill TRIGGER is the tight
+            # commit_lookahead while _commit's FILL cap is the widened
+            # train_max on train-eligible ports, so a draining window
+            # refills in batches of ~(train_max - K) frames once per
+            # several deliveries instead of one frame every delivery.  On
+            # non-widened ports the skipped call is exactly one that would
+            # commit nothing (control frames never park across events, so
+            # ctrl is empty here); either way the wire schedule is
+            # unchanged (any-cap invariant, DESIGN.md §2.1/§2.2).
+            topup_now = sim.now
+            acct = self._acct
+            if acct and acct[0][0] <= topup_now:
                 self._prune(topup_now)
-            self._commit(topup_now)
+            if len(acct) < self.commit_lookahead or not (
+                inflight and self.next_free_ps >= inflight[0][0]
+            ):
+                self._commit(topup_now)
         if inflight:
             # Simulator.schedule_reuse's body, flattened: this runs once per
             # frame-hop, inside our own dispatched event (the documented
             # reuse contract), and per-link arrivals are monotonic so the
             # negative-delay guard is structurally unneeded.
-            sim = self.sim
             sim._seq = seq = sim._seq + 1
             ev = self._del_ev
             ev.time = time = inflight[0][0]

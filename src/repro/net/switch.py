@@ -111,6 +111,20 @@ class Switch(Node):
         # repro.lb.install_lb; None for hand-wired routers).  The hot path
         # never reads this — it exists for introspection and tests.
         self.lb: Optional[object] = None
+        # Train pass-through predicate (DESIGN.md §2.2).  ``_lb_router``
+        # is the exact closure the installed strategy produced (set by
+        # repro.lb.install_lb); ``_train_ok`` is the live gate the fused
+        # frame-train path in net/port.py reads per frame: it is True only
+        # while a *static per-flow* strategy is installed on a zero-latency,
+        # untapped switch.  install_lb derives it from the strategy's
+        # ``train_transparent`` flag; PacketTap clears and restores it
+        # around installs.  A router swapped in by hand no longer matches
+        # ``_lb_router`` and splits trains per-frame regardless; anything
+        # that wraps ``receive`` on a *switch* outside PacketTap must also
+        # clear ``_train_ok`` (hosts need nothing — trains never fuse into
+        # hosts).
+        self._lb_router: Optional[Callable[["Switch", Packet], int]] = None
+        self._train_ok = False
         self.buffer_used = 0
         self.drops = 0
         # PFC state, keyed [in_port][prio].
@@ -342,6 +356,33 @@ class Switch(Node):
         port.enqueue(frame)
 
     # -- introspection ------------------------------------------------------------
+    def _recompute_train_ok(self) -> None:
+        """Re-derive the train pass-through gate from live state — THE
+        single definition of the predicate.  Called by
+        :func:`repro.lb.install_lb` after binding a strategy and by
+        :meth:`repro.metrics.tap.PacketTap.uninstall` when a wrapper comes
+        off; the per-frame fast path reads the cached ``_train_ok`` plus
+        the router-identity compare (the one term that can silently change
+        without a notification)."""
+        lb = self.lb
+        self._train_ok = (
+            lb is not None
+            and getattr(lb, "train_transparent", False)
+            and self._latency_ps == 0
+            and self.router is self._lb_router
+            and "receive" not in self.__dict__
+        )
+
+    def train_transparent(self) -> bool:
+        """True when the frame-train fast path may forward fused bursts
+        through this switch: a static per-flow strategy is installed and
+        unswapped on a zero-latency, untapped switch.  A tap installed
+        mid-run or a router swap takes effect on the very next frame.
+        (Introspection/tests; recomputes, so it is always truthful — a
+        wrapped ``receive`` keeps the recomputed gate closed.)"""
+        self._recompute_train_ok()
+        return self._train_ok
+
     def egress_queue_bytes(self, port_idx: int) -> int:
         return self.ports[port_idx].qbytes_total
 

@@ -32,6 +32,7 @@ Design notes
 
 from __future__ import annotations
 
+import os
 from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
@@ -39,6 +40,22 @@ from typing import Any, Callable, Optional
 #: the garbage collector.  Big enough for the deepest egress backlogs seen
 #: in the paper scenarios, small enough to be irrelevant for memory.
 _POOL_MAX = 8192
+
+#: Default for :attr:`Simulator.trains_enabled` — the frame-train fast path
+#: (DESIGN.md §2.2).  A train is a back-to-back same-direction burst whose
+#: frame-hops ride a fused delivery pipeline (departure bookkeeping, switch
+#: forwarding, egress enqueue in one pass) and whose port commits batch up
+#: to ``Port.train_max`` frames at a time.  Trains never change observable
+#: behavior: the wire schedule, counters, ECN/PFC decisions and RNG draw
+#: order are byte-identical to the per-frame path (the property suite in
+#: tests/property/test_trains.py pins this), so the toggle exists only for
+#: A/B measurement (``tools/bench.py --trains off/on``) and for debugging.
+#: Flip the module global before building a Simulator, or pass ``trains=``
+#: explicitly; ports snapshot the flag at construction.  The default honors
+#: the ``REPRO_TRAINS`` environment variable ("off" disables) so the mode
+#: survives into spawn-started sweep workers, which re-import this module
+#: rather than inheriting the parent's globals — tools/bench.py sets both.
+TRAINS = os.environ.get("REPRO_TRAINS", "on") != "off"
 
 
 class SimulationError(RuntimeError):
@@ -100,9 +117,10 @@ class Simulator:
         "_running",
         "_stopped",
         "events_dispatched",
+        "trains_enabled",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, trains: Optional[bool] = None) -> None:
         self.now: int = 0
         self._heap: list = []
         self._seq: int = 0
@@ -110,6 +128,9 @@ class Simulator:
         self._running: bool = False
         self._stopped: bool = False
         self.events_dispatched: int = 0
+        # Frame-train fast path (see module docstring / TRAINS).  Read by
+        # ports at construction time; semantics are identical either way.
+        self.trains_enabled: bool = TRAINS if trains is None else trains
 
     # -- scheduling ---------------------------------------------------------
     def schedule(self, delay: int, fn: Callable[[Any], None], arg: Any = None) -> Event:

@@ -46,6 +46,13 @@ accelerates loss detection.
 Ownership (DESIGN.md §hot-path): a buffered frame is owned by the reorder
 buffer from arrival to in-order delivery; it is recycled into the host's
 pool only after the ACK that may alias its ``int_records`` is built.
+
+Frame trains (DESIGN.md §2.2): hosts are *train-opaque* — the port layer's
+fused delivery pipeline never fuses into a host, so a train arriving at
+the last hop unrolls to per-frame ``on_data`` calls automatically.  Every
+ACK, CNP and reorder decision therefore observes exactly the per-frame
+arrival sequence whether trains are on or off; nothing in this module
+needs to split anything.
 """
 
 from __future__ import annotations

@@ -13,6 +13,14 @@ multipath reordering silently — so ``dupack_rewind`` additionally arms a
 fast go-back-N rewind on consecutive duplicate ACKs, rate-limited to one
 per base RTT.  ``repro.lb.install_lb`` enables it alongside the reorder
 window; the strict-order default keeps timeout-only recovery.
+
+Frame trains (DESIGN.md §2.2): a window burst paced at a steady rate puts
+back-to-back same-flow frames on the wire — exactly the trains the port
+layer's fused delivery pipeline rides downstream.  The sender contributes
+the formation side only (the pacing-gap memo keeps burst emission cheap
+without moving a single timestamp); delivery and ACK processing stay
+strictly per-frame, so ACK clocking, CC window updates and retransmission
+semantics are untouched by the trains toggle.
 """
 
 from __future__ import annotations
@@ -115,6 +123,9 @@ class SenderQP:
         "_header_bytes",
         "_flow_size",
         "_retx_ps",
+        "_gap_rate",
+        "_gap_size",
+        "_gap",
         "_pool",
         "_nic",
         "on_complete",
@@ -157,6 +168,13 @@ class SenderQP:
         self._header_bytes = config.header_bytes
         self._flow_size = flow.size_bytes
         self._retx_ps = config.retx_timeout_ps
+        # Pacing-gap memo: the CC rate changes at ACK granularity while
+        # frames are emitted at wire granularity, so the (rate, size) pair
+        # repeats for every frame of a burst — the wire trains the port
+        # layer fuses downstream.  A hit returns the identical rounded gap.
+        self._gap_rate = -1.0
+        self._gap_size = -1
+        self._gap = 0
         # Pacing uses a raw engine event (one per emitted frame in steady
         # state) instead of the Timer wrapper; _pace_armed_for carries the
         # deadline the live event is armed for, None when disarmed.
@@ -246,8 +264,14 @@ class SenderQP:
         # Pace at R: the inter-frame gap is the frame's wire time at R.
         rate = self.rate_gbps
         if rate > 0:
-            # Inline serialization_ps: same expression, same rounding.
-            gap = round(size * 8000 / rate)
+            if rate == self._gap_rate and size == self._gap_size:
+                gap = self._gap  # burst fast path: same rate, same size
+            else:
+                # Inline serialization_ps: same expression, same rounding.
+                gap = round(size * 8000 / rate)
+                self._gap_rate = rate
+                self._gap_size = size
+                self._gap = gap
         else:  # fully throttled; retry in one base RTT
             gap = self.base_rtt_ps
         next_tx = self.next_tx_ps

@@ -30,6 +30,29 @@ N worker processes via :class:`repro.exec.SweepExecutor`; every entry
 records ``jobs`` and ``cpu_count`` so speedup claims carry their
 provenance.
 
+``--trains off`` disables the frame-train fast path (byte-identical
+results, per-frame execution) for A/B measurement; entries record the
+mode and ``--check`` only compares entries with matching ``trains`` (like
+``jobs``).  ``--ab-trains`` measures the selected scenarios under *both*
+modes in one process and fails (exit 1) when trains-on is slower than
+trains-off beyond ``--threshold`` on any scenario — the CI gate that keeps
+the fast path from ever costing wall-clock.  (Semantic equivalence of the
+two modes is pinned separately by tests/property/test_trains.py.)
+
+Entry schema (one JSON object per run)::
+
+    timestamp, git_rev, python, label    provenance
+    repeats, jobs, cpu_count, trains     measurement parameters
+    scenarios: {name: {
+        wall_s,            # MEDIAN wall seconds over repeats
+        wall_min_s,        # MIN over repeats — the metric --check gates
+                           # on (noise spikes slow a repeat, never speed
+                           # one up, so the min is the robust floor)
+        events, events_per_sec,
+        frame_hops, frame_hops_per_sec,  # simulated-work throughput
+    }}
+    speedup_vs_baseline: {name: ratio}   # informational, median-based
+
 Works both installed (``pip install -e .``) and from a bare checkout (it
 adds ``src/`` and the repo root to ``sys.path`` itself).
 """
@@ -82,12 +105,18 @@ def load_trajectory(path: Path) -> list:
     return []
 
 
-def find_baseline(trajectory: list, jobs: int = 1) -> dict:
+def find_baseline(trajectory: list, jobs: int = 1, trains: str = "on") -> dict:
     """The speedup reference: the entry tagged ``"label": "baseline"``, else
     the oldest entry — considering only entries measured with the same
-    ``jobs`` value.  Comparing wall times across worker counts would report
-    parallelism as hot-path speedup (the same rule ``--check`` enforces)."""
-    candidates = [e for e in trajectory if entry_jobs(e) == jobs]
+    ``jobs`` value and ``trains`` mode.  Comparing wall times across worker
+    counts would report parallelism as hot-path speedup, and across train
+    modes would report the fast path as history (the same rules ``--check``
+    enforces)."""
+    candidates = [
+        e
+        for e in trajectory
+        if entry_jobs(e) == jobs and entry_trains(e) == trains
+    ]
     for entry in candidates:
         if entry.get("label") == "baseline":
             return entry
@@ -98,6 +127,14 @@ def entry_jobs(entry: dict) -> int:
     """The worker count an entry was measured with (pre-provenance entries
     recorded no ``jobs`` key and were all serial)."""
     return int(entry.get("jobs", 1))
+
+
+def entry_trains(entry: dict) -> str:
+    """The frame-train mode an entry was measured with.  Entries predating
+    the toggle count as ``"on"``: trains are on by default, and gating a
+    new trains-on entry against the pre-train per-frame engine is exactly
+    the cross-PR regression comparison the gate exists for."""
+    return str(entry.get("trains", "on"))
 
 
 def check_regression(trajectory: list, threshold: float = 0.15) -> int:
@@ -132,16 +169,19 @@ def check_regression(trajectory: list, threshold: float = 0.15) -> int:
         return 0
     newest = trajectory[-1]
     jobs = entry_jobs(newest)
+    trains = entry_trains(newest)
     prev = None
     prev_pos = -1
     for pos in range(len(trajectory) - 2, -1, -1):
-        if entry_jobs(trajectory[pos]) == jobs:
-            prev = trajectory[pos]
+        cand = trajectory[pos]
+        if entry_jobs(cand) == jobs and entry_trains(cand) == trains:
+            prev = cand
             prev_pos = pos
             break
     if prev is None:
         print(
             f"check: no previous entry measured with jobs={jobs} "
+            f"trains={trains} "
             f"(newest: {newest.get('label') or newest.get('git_rev')}) — "
             "nothing comparable to gate against yet"
         )
@@ -160,11 +200,13 @@ def check_regression(trajectory: list, threshold: float = 0.15) -> int:
     print(
         f"check: entry #{len(trajectory)} ({newest.get('label') or newest.get('git_rev')}) "
         f"vs #{prev_pos + 1} ({prev.get('label') or prev.get('git_rev')}), "
-        f"jobs={jobs}, threshold +{threshold:.0%}"
+        f"jobs={jobs}, trains={trains}, threshold +{threshold:.0%} on wall_min_s"
     )
     for name in shared:
-        # Prefer the min over repeats: robust to noisy-neighbor spikes on
-        # shared runners (a spike can slow one repeat, never speed one up).
+        # Gate on the min over repeats, not the median: robust to noisy-
+        # neighbor spikes on shared runners (a spike can slow one repeat,
+        # never speed one up), so CI flakes don't masquerade as perf
+        # regressions.  Entries keep both (see the schema comment above).
         old_wall = prev_sc[name].get("wall_min_s") or prev_sc[name].get("wall_s")
         new_wall = new_sc[name].get("wall_min_s") or new_sc[name].get("wall_s")
         if not old_wall or not new_wall:
@@ -230,6 +272,22 @@ def main(argv=None) -> int:
         "a huge value reproduces the eager commit-everything port, for "
         "apples-to-apples pause-cost comparisons on one machine)",
     )
+    parser.add_argument(
+        "--trains",
+        choices=("on", "off"),
+        default="on",
+        help="frame-train fast path toggle (byte-identical results either "
+        "way); recorded in the entry so --check only compares matching "
+        "modes",
+    )
+    parser.add_argument(
+        "--ab-trains",
+        action="store_true",
+        help="measure the selected scenarios under trains off AND on in "
+        "one process, print the A/B, and exit 1 if trains-on is slower "
+        "than trains-off beyond --threshold on any scenario (never "
+        "writes the trajectory)",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
@@ -241,8 +299,45 @@ def main(argv=None) -> int:
 
         _port.COMMIT_LOOKAHEAD = args.lookahead
 
+    import repro.sim.engine as _engine
+
+    def _set_trains(mode: str) -> None:
+        # Both the in-process global AND the env var: spawn-started sweep
+        # workers (--jobs > 1) re-import repro.sim.engine rather than
+        # inheriting this process's module state, and the engine default
+        # reads REPRO_TRAINS at import.
+        _engine.TRAINS = mode == "on"
+        os.environ["REPRO_TRAINS"] = mode
+
+    _set_trains(args.trains)
+
     if args.check:
         return check_regression(load_trajectory(args.out), args.threshold)
+
+    if args.ab_trains:
+        names = list(QUICK_SCENARIOS) if args.quick else (
+            args.scenario or list(SCENARIOS)
+        )
+        repeats = 3 if args.quick else args.repeats
+        print(f"A/B trains off vs on: {names} (repeats={repeats}) ...", flush=True)
+        walls = {}
+        for mode in ("off", "on"):
+            _set_trains(mode)
+            walls[mode] = measure_all(names, repeats=repeats, jobs=args.jobs)
+        failures = 0
+        print(f"{'scenario':>18} {'off(s)':>9} {'on(s)':>9} {'on/off':>8}")
+        for name in names:
+            off = walls["off"][name].get("wall_min_s") or walls["off"][name]["wall_s"]
+            on = walls["on"][name].get("wall_min_s") or walls["on"][name]["wall_s"]
+            ratio = on / off
+            verdict = "FAIL" if ratio > 1 + args.threshold else "ok"
+            if verdict == "FAIL":
+                failures += 1
+            print(f"{name:>18} {off:9.3f} {on:9.3f} {ratio:8.2f} {verdict}")
+        if failures:
+            print(f"ab-trains: trains-on regressed on {failures} scenario(s)")
+            return 1
+        return 0
 
     if args.quick:
         names = list(QUICK_SCENARIOS)
@@ -271,7 +366,7 @@ def main(argv=None) -> int:
     metrics = measure_all(names, repeats=repeats, jobs=effective_jobs)
 
     trajectory = load_trajectory(args.out)
-    baseline = find_baseline(trajectory, jobs=effective_jobs)
+    baseline = find_baseline(trajectory, jobs=effective_jobs, trains=args.trains)
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "git_rev": git_rev(),
@@ -280,6 +375,7 @@ def main(argv=None) -> int:
         "repeats": repeats,
         "jobs": effective_jobs,
         "cpu_count": os.cpu_count(),
+        "trains": args.trains,
         "scenarios": metrics,
     }
     if baseline:
