@@ -184,6 +184,85 @@ def _sweep(jobs: int = 1) -> ScenarioResult:
     )
 
 
+#: Hybrid co-simulation scenarios (DESIGN.md §6).  ``paper_scale`` is the
+#: full paper fabric (k=8, 128 hosts) under the Fig. 14 workload at 30%
+#: load — heavy enough that the packet engine needs minutes, small enough
+#: that a packet ground-truth entry is still recordable back-to-back with
+#: the hybrid one (the ≥10x claim needs both on one machine).
+#: ``million_flows`` is the scale ceiling: 100k flows on the same fabric —
+#: feasible only under the hybrid backend (the packet engine would need
+#: hours), so its default backend is ``hybrid``.
+PAPER_SCALE_KW = dict(
+    workload="websearch", k=8, load=0.3, n_flows=800, scale=1.0, seed=1
+)
+MILLION_FLOWS_KW = dict(
+    workload="websearch", k=8, load=0.2, n_flows=100_000, scale=0.01, seed=1
+)
+MILLION_FLOWS_QUICK_KW = dict(MILLION_FLOWS_KW, n_flows=10_000)
+
+
+def _hybrid_scale_config(strict: bool = False):
+    """The scalability-tuned tier split for the bench scenarios: demote
+    only persistently hot elephants (the fidelity-tuned defaults demote
+    aggressively, which is right for the validation gate and wrong for a
+    throughput ceiling — ``repro.hybrid.validate`` gates fidelity, these
+    scenarios measure the co-simulation ceiling).  ``strict`` is the
+    million-flows variant: at scale=0.01 every flow is sub-BDP, so PFC
+    refinement re-simulation and transient-congestion demotion buy no
+    fidelity worth their extra fluid/packet passes."""
+    from repro.hybrid.backend import HybridConfig
+
+    common = dict(
+        mouse_bytes=0, epoch_us=200.0, bg_quantum_bytes=64 * STORM_MTU
+    )
+    if strict:
+        return HybridConfig(
+            threshold=0.99, min_link_flows=10, congested_frac=0.9,
+            refine_rounds=0, **common
+        )
+    return HybridConfig(
+        threshold=0.98, min_link_flows=8, congested_frac=0.85, **common
+    )
+
+
+def _fct_cell(kw: dict, backend: str, strict: bool = False) -> ScenarioResult:
+    if backend == "packet":
+        from repro.experiments.fct_experiment import run_fct_experiment
+
+        r = run_fct_experiment("fncc", **kw)
+        assert r.completed() == kw["n_flows"], "packet cell lost flows"
+        return [r.sim], [r.topo]
+
+    from repro.hybrid.backend import run_fct_hybrid
+    from repro.metrics.monitors import topo_frame_hops
+
+    cfg = _hybrid_scale_config(strict)
+    thr = {"flow": None}.get(backend, cfg.threshold)
+    r = run_fct_hybrid("fncc", config=cfg, threshold=thr, **kw)
+    assert r.completed() == kw["n_flows"], "hybrid cell lost flows"
+    events = sum(
+        r.stats.get(k, 0)
+        for k in ("classify_events", "fluid_events", "packet_events")
+    )
+    hops = topo_frame_hops(r.topo) if r.sim is not None else 0
+    return (
+        [SimpleNamespace(events_dispatched=events)],
+        [SimpleNamespace(frame_hops=hops)],
+    )
+
+
+def _paper_scale(backend: str = "packet") -> ScenarioResult:
+    return _fct_cell(PAPER_SCALE_KW, backend)
+
+
+def _million_flows(backend: str = "hybrid") -> ScenarioResult:
+    return _fct_cell(MILLION_FLOWS_KW, backend, strict=True)
+
+
+def _million_flows_quick(backend: str = "hybrid") -> ScenarioResult:
+    return _fct_cell(MILLION_FLOWS_QUICK_KW, backend, strict=True)
+
+
 SCENARIOS: Dict[str, Callable[..., ScenarioResult]] = {
     "fig1_queue": _fig1_queue,
     "fig9_micro": _fig9_micro,
@@ -191,11 +270,28 @@ SCENARIOS: Dict[str, Callable[..., ScenarioResult]] = {
     "lbmatrix": _lbmatrix,
     "pause_storm": _pause_storm,
     "sweep": _sweep,
+    "paper_scale": _paper_scale,
+    "million_flows": _million_flows,
+    "million_flows_quick": _million_flows_quick,
 }
 
 #: Scenarios whose callable takes ``jobs`` (the sweep-executor fan-out);
 #: all others ignore ``--jobs`` and measure the single-run hot path.
 JOBS_SCENARIOS = frozenset({"sweep"})
+
+#: Scenarios whose callable takes ``backend`` (``tools/bench.py
+#: --backend``); entries record the flag so ``--check`` never gates a
+#: hybrid entry against a packet one.
+BACKEND_SCENARIOS = frozenset({"paper_scale", "million_flows", "million_flows_quick"})
+
+#: Minutes-scale scenarios: excluded from the no-args default set (run
+#: them via ``--scenario``), and measured without the untimed warmup run —
+#: at minutes per run the allocator-warmup noise the warmup exists to
+#: shave is far below measurement noise anyway.
+HEAVY_SCENARIOS = frozenset({"paper_scale", "million_flows"})
+
+#: The no-args ``tools/bench.py`` set: everything that finishes in seconds.
+DEFAULT_SCENARIOS = tuple(n for n in SCENARIOS if n not in HEAVY_SCENARIOS)
 
 #: Scenarios exercised by ``tools/bench.py --quick`` (CI smoke).
 #: ``pause_storm`` rides along so a PR reintroducing O(backlog) pause
@@ -217,14 +313,21 @@ def _frame_hops(topos: List[object]) -> int:
     return total
 
 
-def measure_scenario(name: str, repeats: int = 3, jobs: int = 1) -> Dict[str, float]:
+def measure_scenario(
+    name: str, repeats: int = 3, jobs: int = 1, backend: str = ""
+) -> Dict[str, float]:
     """Run ``name`` ``repeats`` times (plus one untimed warmup) and return
     the metric dict for one trajectory entry.  ``jobs`` reaches only the
     scenarios in :data:`JOBS_SCENARIOS`; pool startup is deliberately
-    *inside* the timed region (it is part of the sweep's wall cost)."""
+    *inside* the timed region (it is part of the sweep's wall cost).
+    ``backend`` (when non-empty) reaches the :data:`BACKEND_SCENARIOS`;
+    others keep the packet hot path."""
     fn = SCENARIOS[name]
     kwargs = {"jobs": jobs} if name in JOBS_SCENARIOS else {}
-    fn(**kwargs)  # warmup: imports, routing tables, allocator steady state
+    if backend and name in BACKEND_SCENARIOS:
+        kwargs["backend"] = backend
+    if name not in HEAVY_SCENARIOS:
+        fn(**kwargs)  # warmup: imports, routing tables, allocator steady state
     walls: List[float] = []
     events = 0
     hops = 0
@@ -247,10 +350,13 @@ def measure_scenario(name: str, repeats: int = 3, jobs: int = 1) -> Dict[str, fl
     return out
 
 
-def measure_all(names=None, repeats: int = 3, jobs: int = 1) -> Dict[str, Dict[str, float]]:
-    names = list(names) if names is not None else list(SCENARIOS)
+def measure_all(
+    names=None, repeats: int = 3, jobs: int = 1, backend: str = ""
+) -> Dict[str, Dict[str, float]]:
+    names = list(names) if names is not None else list(DEFAULT_SCENARIOS)
     return {
-        name: measure_scenario(name, repeats=repeats, jobs=jobs) for name in names
+        name: measure_scenario(name, repeats=repeats, jobs=jobs, backend=backend)
+        for name in names
     }
 
 

@@ -2,36 +2,61 @@
 
 Use case (DESIGN.md): cross-validating FCT *trends* at the paper's full
 scale (k=8 fat-tree, 128 hosts, thousands of flows), where packet-level
-simulation in Python is impractical.  A congestion-controlled fabric in
-steady state approximates max-min fairness, so this model predicts the
+simulation in Python is impractical — and, since the hybrid backend
+(DESIGN.md §6), serving as its fluid tier.  A congestion-controlled fabric
+in steady state approximates max-min fairness, so this model predicts the
 workload-level shape (which size bins suffer, where the load knee is) that
 an ideally-converging CC — FNCC's aspiration — would achieve.
 
-Mechanics: between flow arrivals/completions, every active flow gets its
-max-min fair rate (progressive waterfilling over directed links); the next
-event is the earliest completion under those rates.  Completion times then
-get the path's base store-and-forward latency added so slowdowns are
-comparable with :func:`repro.metrics.ideal.ideal_fct_ps`.
+Mechanics: this module is a thin façade over the incremental engine in
+:mod:`repro.hybrid.fluid` — heap-based progressive waterfilling that
+re-solves only the flows sharing a link with each arrival/completion,
+instead of the seed's O(L²)-per-event full recompute.  Completion times
+are normalized against the flow's *solo* service time: a flow's FCT is
+``ideal_fct_ps × (actual service time / solo service time)``, so a flow
+that never shares a link lands at a slowdown of exactly 1.0 and a
+contended flow's slowdown is its fluid service-time inflation.
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.hybrid.fluid import FluidEngine
 from repro.metrics.ideal import ideal_fct_ps
 from repro.transport.flow import Flow, FlowRecord
-from repro.units import DEFAULT_MTU, serialization_ps
+from repro.units import DEFAULT_MTU
 
 LinkKey = Tuple[Hashable, Hashable]
 PathFn = Callable[[Flow], List[LinkKey]]
 
+#: Bound on the per-topology path memo in :func:`from_topology` (entries
+#: are (src, dst, flow_id) triples; the memo is cleared, not evicted).
+_PATH_MEMO_MAX = 1 << 18
+
 
 class FlowSimResult:
-    """Completion records with paper-comparable slowdowns."""
+    """Completion records with paper-comparable slowdowns, plus the
+    per-flow fluid windows and per-link congestion/background data the
+    hybrid tier boundary consumes."""
 
     def __init__(self) -> None:
         self.records: List[FlowRecord] = []
+        #: flow_id -> (start_ps, fluid finish time in float ps).
+        self.windows: Dict[int, Tuple[int, float]] = {}
+        #: flow_id -> resolved path (list of directed LinkKeys).
+        self.paths: Dict[int, List[LinkKey]] = {}
+        #: LinkKey -> merged [(t0, t1)] congestion intervals (only when
+        #: ``run(congestion=...)`` was requested).
+        self.congestion_intervals: Dict[LinkKey, List[Tuple[float, float]]] = {}
+        #: LinkKey -> {epoch index: offered bytes} for the tracked subset
+        #: (only when ``run(bg=...)`` was requested).
+        self.bg_bytes: Dict[LinkKey, Dict[int, float]] = {}
+        self.n_events = 0
+        self.end_time = 0.0
+        self.max_active = 0
+        self.n_rate_changes = 0
+        self.n_waterfills = 0
 
     def add(self, rec: FlowRecord) -> None:
         self.records.append(rec)
@@ -49,6 +74,10 @@ class FlowLevelSimulator:
     def __init__(self) -> None:
         self._capacity: Dict[LinkKey, float] = {}  # bytes/ps
         self._link_attrs: Dict[LinkKey, Tuple[float, int]] = {}  # (gbps, prop)
+        # Dense link-id view reused across runs (the engine's index space).
+        self._link_ids: Dict[LinkKey, int] = {}
+        self._caps: List[float] = []
+        self._id_to_key: List[LinkKey] = []
 
     def add_link(
         self, u: Hashable, v: Hashable, rate_gbps: float, prop_delay_ps: int = 0
@@ -59,41 +88,17 @@ class FlowLevelSimulator:
         for key in ((u, v), (v, u)):
             self._capacity[key] = rate_gbps / 8000.0
             self._link_attrs[key] = (rate_gbps, prop_delay_ps)
+            lid = self._link_ids.get(key)
+            if lid is None:
+                self._link_ids[key] = len(self._caps)
+                self._caps.append(rate_gbps / 8000.0)
+                self._id_to_key.append(key)
+            else:
+                self._caps[lid] = rate_gbps / 8000.0
 
     @property
     def n_links(self) -> int:
         return len(self._capacity)
-
-    # -- max-min waterfilling -----------------------------------------------------
-    def _fair_rates(
-        self, flows_on_link: Dict[LinkKey, List[int]], flow_links: Dict[int, List[LinkKey]]
-    ) -> Dict[int, float]:
-        rates: Dict[int, float] = {}
-        remaining = {k: self._capacity[k] for k, v in flows_on_link.items() if v}
-        unfrozen: Dict[LinkKey, set] = {
-            k: set(v) for k, v in flows_on_link.items() if v
-        }
-        while remaining:
-            # The tightest link determines the next freezing level.
-            key, cap = min(
-                remaining.items(), key=lambda kv: kv[1] / max(1, len(unfrozen[kv[0]]))
-            )
-            users = unfrozen[key]
-            if not users:
-                del remaining[key]
-                continue
-            share = cap / len(users)
-            for fid in list(users):
-                rates[fid] = share
-                # Freeze this flow everywhere, returning unused capacity.
-                for lk in flow_links[fid]:
-                    if lk in remaining:
-                        remaining[lk] -= share
-                        unfrozen[lk].discard(fid)
-                        if not unfrozen[lk]:
-                            del remaining[lk]
-                            del unfrozen[lk]
-        return rates
 
     # -- event loop ------------------------------------------------------------------
     def run(
@@ -102,75 +107,97 @@ class FlowLevelSimulator:
         path_fn: PathFn,
         mtu: int = DEFAULT_MTU,
         header: int = 48,
+        congestion: Optional[Tuple[float, int]] = None,
+        bg: Optional[Tuple[int, Sequence[LinkKey], Sequence[int]]] = None,
+        cap_schedule: Optional[Sequence[Tuple[int, LinkKey, float]]] = None,
+        rate_eps: float = 0.02,
+        ripple_rounds: Optional[int] = None,
     ) -> FlowSimResult:
         """Simulate the flow set; returns completion records with slowdowns
-        normalized exactly like the packet simulator's."""
+        normalized exactly like the packet simulator's.
+
+        The keyword hooks are the hybrid tier boundary (DESIGN.md §6):
+        ``congestion=(util_threshold, min_flows)`` records per-link
+        congested intervals; ``bg=(epoch_ps, link_keys, flow_ids)``
+        accumulates the named flows' offered bytes per (link, epoch);
+        ``cap_schedule=[(t_ps, link_key, rate_gbps), ...]`` applies
+        piecewise-constant capacity changes (residual capacity feedback).
+        """
         result = FlowSimResult()
-        arrivals = sorted(flows, key=lambda f: f.start_ps)
-        paths: Dict[int, List[LinkKey]] = {}
-        path_latency: Dict[int, int] = {}
-        ideal: Dict[int, int] = {}
-        for f in arrivals:
+        link_ids = self._link_ids
+
+        bg_cfg = None
+        tracked: frozenset = frozenset()
+        if bg is not None:
+            epoch_ps, bg_keys, bg_flow_ids = bg
+            bg_cfg = (epoch_ps, [link_ids[k] for k in bg_keys if k in link_ids])
+            tracked = frozenset(bg_flow_ids)
+        sched = None
+        if cap_schedule:
+            sched = [
+                (t, link_ids[k], rate_gbps / 8000.0)
+                for (t, k, rate_gbps) in cap_schedule
+            ]
+
+        engine = FluidEngine(
+            self._caps,
+            congestion=congestion,
+            bg=bg_cfg,
+            cap_schedule=sched,
+            rate_eps=rate_eps,
+            ripple_rounds=ripple_rounds,
+        )
+
+        # Flows are serviced in *wire bytes* (payload inflated by per-frame
+        # header overhead) so solo service times match the header-aware
+        # ideal FCT's transmission component.
+        wire_factor = mtu / (mtu - header)
+        meta: List[Tuple[Flow, int]] = []
+        for f in flows:
             path = list(path_fn(f))
             if not path:
                 raise ValueError(f"flow {f.flow_id}: empty path")
+            lids = []
             for lk in path:
-                if lk not in self._capacity:
+                lid = link_ids.get(lk)
+                if lid is None:
                     raise KeyError(f"flow {f.flow_id}: unknown link {lk}")
-            paths[f.flow_id] = path
-            links = [
-                (self._link_attrs[lk][0], self._link_attrs[lk][1]) for lk in path
-            ]
-            ideal[f.flow_id] = ideal_fct_ps(f.size_bytes, links, mtu=mtu, header=header)
-            # Base latency of the last byte once transmission finishes:
-            # remaining hops' store-and-forward + propagation.
-            last = links[-1]
-            path_latency[f.flow_id] = sum(d for _, d in links) + sum(
-                serialization_ps(min(mtu, f.size_bytes + header), r) for r, _ in links[1:]
+                lids.append(lid)
+            links = [self._link_attrs[lk] for lk in path]
+            ideal = ideal_fct_ps(f.size_bytes, links, mtu=mtu, header=header)
+            engine.add_flow(
+                lids,
+                f.size_bytes * wire_factor,
+                f.start_ps,
+                tracked=f.flow_id in tracked,
             )
+            meta.append((f, ideal))
+            result.paths[f.flow_id] = path
 
-        # Flows are serviced in *wire bytes* (payload inflated by per-frame
-        # header overhead) so single-flow slowdowns land at exactly 1.0
-        # against the header-aware ideal FCT.
-        wire_factor = mtu / (mtu - header)
-        remaining: Dict[int, float] = {}
-        active: Dict[int, Flow] = {}
-        now = 0.0
-        i = 0
-        n = len(arrivals)
-        while active or i < n:
-            # Admit everything arriving at `now`.
-            if not active and i < n and arrivals[i].start_ps > now:
-                now = float(arrivals[i].start_ps)
-            while i < n and arrivals[i].start_ps <= now:
-                f = arrivals[i]
-                active[f.flow_id] = f
-                remaining[f.flow_id] = f.size_bytes * wire_factor
-                i += 1
-            # Fair rates for the current active set.
-            flows_on_link: Dict[LinkKey, List[int]] = {}
-            flow_links = {fid: paths[fid] for fid in active}
-            for fid, path in flow_links.items():
-                for lk in path:
-                    flows_on_link.setdefault(lk, []).append(fid)
-            rates = self._fair_rates(flows_on_link, flow_links)
-            # Next event: earliest completion or next arrival.
-            t_complete = min(
-                (remaining[fid] / rates[fid], fid)
-                for fid in active
-                if rates.get(fid, 0) > 0
-            )
-            dt_arrival = (arrivals[i].start_ps - now) if i < n else float("inf")
-            dt = min(t_complete[0], dt_arrival)
-            now += dt
-            for fid in list(active):
-                remaining[fid] -= rates.get(fid, 0.0) * dt
-                if remaining[fid] <= 1e-6:
-                    f = active.pop(fid)
-                    del remaining[fid]
-                    rec = FlowRecord(f, round(now) + path_latency[fid])
-                    rec.ideal_fct_ps = ideal[fid]
-                    result.add(rec)
+        for r in engine.run():
+            f, ideal = meta[r.index]
+            if r.clean:
+                # Rate never deviated from the solo bottleneck rate: the
+                # service ratio is exactly 1, no float residue.
+                fct = ideal
+            else:
+                s_solo = (f.size_bytes * wire_factor) / r.solo_rate
+                fct = round(ideal * ((r.finish - r.start) / s_solo))
+            rec = FlowRecord(f, f.start_ps + fct)
+            rec.ideal_fct_ps = ideal
+            result.add(rec)
+            result.windows[f.flow_id] = (f.start_ps, r.finish)
+
+        inv = self._id_to_key
+        result.congestion_intervals = {
+            inv[l]: iv for l, iv in engine.congestion_intervals.items()
+        }
+        result.bg_bytes = {inv[l]: d for l, d in engine.bg_bytes.items() if d}
+        result.n_events = engine.n_events
+        result.end_time = engine.end_time
+        result.max_active = engine.max_active
+        result.n_rate_changes = engine.n_rate_changes
+        result.n_waterfills = engine.n_waterfills
         return result
 
 
@@ -178,19 +205,58 @@ def from_topology(topo) -> Tuple[FlowLevelSimulator, PathFn]:
     """Build a flow-level simulator mirroring a packet
     :class:`~repro.topo.base.Topology`, with a path function that follows
     the *same ECMP decisions* as the packet switches (so the two simulators
-    are comparable flow by flow)."""
+    are comparable flow by flow).
+
+    When every switch routes statically per flow (hand-wired tables or a
+    ``train_transparent`` strategy), resolved paths are memoized per
+    ``(src, dst, flow_id)`` — the flow id must stay in the key because
+    ECMP hashes it, so a plain ``(src, dst)`` key would collapse the
+    fabric's path diversity.  The memo is invalidated whenever
+    :func:`repro.lb.install_lb` installs a new strategy (it bumps
+    ``topo.routing_epoch``), and bounded at ``_PATH_MEMO_MAX`` entries.
+    """
     from repro.net.packet import DATA, Packet
 
     fls = FlowLevelSimulator()
     for u, v, attrs in topo.graph.edges(data=True):
         fls.add_link(u, v, attrs["rate_gbps"], attrs["prop_delay_ps"])
 
+    # One probe frame reused across walks (static routers read only the
+    # (flow_id, src, dst) triple); per-switch port->peer-name tables kill
+    # the per-hop attribute chases of the naive walk.
+    probe = Packet(DATA, flow_id=0, src=0, dst=1)
+    state = {"epoch": None, "memo": {}, "peers": {}, "static": False}
+
+    def _refresh() -> None:
+        state["epoch"] = getattr(topo, "routing_epoch", 0)
+        state["memo"] = {}
+        state["peers"] = {}
+        state["static"] = all(
+            getattr(sw, "lb", None) is None or sw.lb.train_transparent
+            for sw in topo.switches
+        )
+
     def path_fn(flow: Flow) -> List[LinkKey]:
-        pkt = Packet(DATA, flow_id=flow.flow_id, src=flow.src, dst=flow.dst)
+        if state["epoch"] != getattr(topo, "routing_epoch", 0):
+            _refresh()
+        static = state["static"]
+        if static:
+            hit = state["memo"].get((flow.src, flow.dst, flow.flow_id))
+            if hit is not None:
+                return hit
+            pkt = probe
+            pkt.flow_id = flow.flow_id
+            pkt.src = flow.src
+            pkt.dst = flow.dst
+        else:
+            # Dynamic strategies may mutate the frame they route; give
+            # them a fresh one like the packet engine would.
+            pkt = Packet(DATA, flow_id=flow.flow_id, src=flow.src, dst=flow.dst)
         src_name = topo.hosts[flow.src].name
         dst_name = topo.hosts[flow.dst].name
         current = next(iter(topo.graph[src_name]))
         hops: List[LinkKey] = [(src_name, current)]
+        peers = state["peers"]
         guard = 0
         while True:
             guard += 1
@@ -198,10 +264,22 @@ def from_topology(topo) -> Tuple[FlowLevelSimulator, PathFn]:
                 raise RuntimeError("routing loop in path_fn")
             sw = topo.node(current)
             out = sw.router(sw, pkt)
-            peer = sw.ports[out].peer.node.name
+            table = peers.get(current)
+            if table is None:
+                table = peers[current] = [
+                    p.peer.node.name if p.peer is not None else None
+                    for p in sw.ports
+                ]
+            peer = table[out]
             hops.append((current, peer))
             if peer == dst_name:
-                return hops
+                break
             current = peer
+        if static:
+            memo = state["memo"]
+            if len(memo) >= _PATH_MEMO_MAX:
+                memo.clear()
+            memo[(flow.src, flow.dst, flow.flow_id)] = hops
+        return hops
 
     return fls, path_fn

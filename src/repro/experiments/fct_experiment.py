@@ -91,6 +91,7 @@ class FctSummary:
         events_dispatched: int,
         seed: int,
         frame_hops: int = 0,
+        backend: str = "packet",
     ) -> None:
         self.cc = cc
         self.workload = workload
@@ -104,6 +105,9 @@ class FctSummary:
         # Frames delivered across any link (in-worker sum of per-port tx
         # counters) — the perf harness's simulated-work unit.
         self.frame_hops = frame_hops
+        # Which simulation backend produced this summary
+        # ("packet" | "flow" | "hybrid") — provenance for bench history.
+        self.backend = backend
 
     def completed(self) -> int:
         return self._completed
@@ -112,7 +116,9 @@ class FctSummary:
         return self._fingerprint
 
 
-def summarize_fct_result(result: FctResult, seed: int) -> FctSummary:
+def summarize_fct_result(
+    result: FctResult, seed: int, backend: str = "packet"
+) -> FctSummary:
     from repro.metrics.monitors import topo_frame_hops
 
     topo = result.topo
@@ -124,18 +130,56 @@ def summarize_fct_result(result: FctResult, seed: int) -> FctSummary:
         n_flows=result.n_flows,
         completed=result.completed(),
         fingerprint=result.fct_fingerprint(),
-        events_dispatched=result.sim.events_dispatched,
+        events_dispatched=result.sim.events_dispatched if result.sim else 0,
         seed=seed,
         frame_hops=topo_frame_hops(topo) if topo is not None else 0,
+        backend=backend,
     )
 
 
-def run_fct_summary(cc: str, seed: int = 1, **kwargs) -> FctSummary:
-    """Sweep-spec target: one (CC, workload) cell as a portable summary."""
-    return summarize_fct_result(run_fct_experiment(cc, seed=seed, **kwargs), seed)
+def run_fct_summary(
+    cc: str, seed: int = 1, backend: str = "packet", **kwargs
+) -> FctSummary:
+    """Sweep-spec target: one (CC, workload) cell as a portable summary.
+
+    ``backend`` selects the simulation tier: ``"packet"`` (discrete-event,
+    the default), ``"flow"`` (pure max-min fluid) or ``"hybrid"``
+    (packet-level only across congested links, DESIGN.md §6).
+    """
+    if backend == "packet":
+        return summarize_fct_result(run_fct_experiment(cc, seed=seed, **kwargs), seed)
+    # Deferred import: repro.hybrid.backend imports this module.
+    from repro.hybrid.backend import run_fct_hybrid
+
+    if backend == "flow":
+        result = run_fct_hybrid(cc, seed=seed, threshold=None, **kwargs)
+    elif backend == "hybrid":
+        result = run_fct_hybrid(cc, seed=seed, **kwargs)
+    else:
+        raise ValueError(
+            f"backend must be one of ('packet', 'flow', 'hybrid'), got {backend!r}"
+        )
+    return summarize_fct_result(result, seed, backend=backend)
 
 
-def run_fct_experiment(
+class FctFabric:
+    """One fully-built (CC, workload) cell, flows generated but *not*
+    launched: the shared substrate of the packet experiment and the hybrid
+    backend's packet phases (which launch only the demoted subset on it)."""
+
+    __slots__ = ("sim", "topo", "env", "collector", "flows", "bins", "cdf")
+
+    def __init__(self, sim, topo, env, collector, flows, bins, cdf) -> None:
+        self.sim = sim
+        self.topo = topo
+        self.env = env
+        self.collector = collector
+        self.flows = flows
+        self.bins = bins
+        self.cdf = cdf
+
+
+def build_fct_fabric(
     cc: str,
     workload: str = "websearch",
     k: int = 4,
@@ -144,20 +188,13 @@ def run_fct_experiment(
     scale: float = 0.1,
     link_rate_gbps: float = 100.0,
     seed: int = 1,
-    max_horizon_ms: float = 50.0,
     bins: Optional[Sequence[int]] = None,
     lb=None,
     **cc_params,
-) -> FctResult:
-    """Run one (CC, workload) cell of Figs. 14/15.
-
-    ``lb`` selects the load-balancing strategy (name or
-    :class:`repro.lb.LbConfig`); None keeps the symmetric-ECMP baseline.
-
-    Runs until every generated flow completes or ``max_horizon_ms`` elapses
-    (stragglers under a misbehaving CC should not hang the harness; the
-    completion count is part of the result).
-    """
+) -> FctFabric:
+    """Build the §5.5 fabric + workload for one cell; deterministic in
+    ``seed`` (every RNG stream is name-derived, so two fabrics built with
+    the same arguments generate byte-identical flow lists and routing)."""
     if workload not in WORKLOADS:
         raise ValueError(f"workload must be one of {sorted(WORKLOADS)}")
     cdf_fn, default_bins = WORKLOADS[workload]
@@ -186,8 +223,13 @@ def run_fct_experiment(
         load=load,
         seeds=seeds,
     ).generate(n_flows)
-    launch_flows(topo, flows, env)
+    return FctFabric(sim, topo, env, collector, flows, bins, cdf)
 
+
+def drive_fct(sim: Simulator, collector: FctCollector, n_flows: int, max_horizon_ms: float) -> None:
+    """Chunked drive loop: run until every launched flow completes or the
+    horizon elapses (stragglers under a misbehaving CC should not hang the
+    harness; the completion count is part of the result)."""
     horizon = round(max_horizon_ms * MS)
     chunk = MS // 2
     t = 0
@@ -196,7 +238,26 @@ def run_fct_experiment(
         sim.run(until=t)
         if sim.peek() is None:
             break
-    return FctResult(cc, workload, collector, bins, n_flows, sim, topo=topo)
+
+
+def run_fct_experiment(
+    cc: str,
+    workload: str = "websearch",
+    max_horizon_ms: float = 50.0,
+    **kwargs,
+) -> FctResult:
+    """Run one (CC, workload) cell of Figs. 14/15.
+
+    ``lb`` selects the load-balancing strategy (name or
+    :class:`repro.lb.LbConfig`); None keeps the symmetric-ECMP baseline.
+    See :func:`build_fct_fabric` for the remaining knobs.
+    """
+    fab = build_fct_fabric(cc, workload=workload, **kwargs)
+    launch_flows(fab.topo, fab.flows, fab.env)
+    drive_fct(fab.sim, fab.collector, len(fab.flows), max_horizon_ms)
+    return FctResult(
+        cc, workload, fab.collector, fab.bins, len(fab.flows), fab.sim, topo=fab.topo
+    )
 
 
 def compare_ccs(

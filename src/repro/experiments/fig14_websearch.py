@@ -28,10 +28,14 @@ def run_fig14(
     scale: float = 0.1,
     seed: int = 1,
     jobs: int = 1,
+    backend: str = "packet",
     **kwargs,
 ) -> Dict[str, FctSummary]:
     """Per-CC runs are independent, so they fan out over ``jobs`` worker
-    processes (``jobs=1`` = in-process; identical results either way)."""
+    processes (``jobs=1`` = in-process; identical results either way).
+    ``backend`` selects the simulation engine per cell (packet / flow /
+    hybrid — see DESIGN.md §6; hybrid fidelity on this scenario is gated
+    by ``repro.hybrid.validate``)."""
     return compare_ccs_sweep(
         ccs,
         workload="websearch",
@@ -41,6 +45,7 @@ def run_fig14(
         scale=scale,
         seed=seed,
         jobs=jobs,
+        backend=backend,
         **kwargs,
     )
 
@@ -59,8 +64,8 @@ def long_flow_median_reduction(results: Dict[str, FctSummary], min_size_scaled: 
     return out
 
 
-def main(jobs: int = 1, seed: int = 1) -> None:
-    results = run_fig14(seed=seed, jobs=jobs)
+def main(jobs: int = 1, seed: int = 1, backend: str = "packet") -> None:
+    results = run_fig14(seed=seed, jobs=jobs, backend=backend)
     for col in PERCENTILE_COLUMNS:
         print(format_panel(results, col, f"\nFig 14 ({col}) — WebSearch @50% load, FCT slowdown"))
     completed = {cc: r.completed() for cc, r in results.items()}

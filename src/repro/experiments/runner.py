@@ -59,7 +59,7 @@ def _accepted_options(fn: Callable[..., None]) -> set:
         params = inspect.signature(fn).parameters
     except (TypeError, ValueError):  # pragma: no cover - builtins etc.
         return set()
-    return {"jobs", "seed", "quick"} & set(params)
+    return {"jobs", "seed", "quick", "backend"} & set(params)
 
 
 def main(argv=None) -> int:
@@ -87,6 +87,14 @@ def main(argv=None) -> int:
         action="store_true",
         help="reduced slice for experiments that support it (lbmatrix)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("packet", "flow", "hybrid"),
+        default=None,
+        help="simulation backend for experiments that support it (fig14/"
+        "fig15): packet = discrete-event ground truth, flow = max-min "
+        "fluid model, hybrid = packet/flow co-simulation (DESIGN.md §6)",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
@@ -99,7 +107,7 @@ def main(argv=None) -> int:
             marker = ""
             if "jobs" in opts:
                 flags = "/".join(
-                    f"--{o}" for o in ("jobs", "seed", "quick") if o in opts
+                    f"--{o}" for o in ("jobs", "seed", "quick", "backend") if o in opts
                 )
                 marker = f"[sweep: {flags}]"
             print(f"{name:<14}{marker}")
@@ -131,6 +139,14 @@ def main(argv=None) -> int:
         else:
             print(
                 f"note: {args.experiment} has no --quick slice; ignoring",
+                file=sys.stderr,
+            )
+    if args.backend is not None:
+        if "backend" in opts:
+            kwargs["backend"] = args.backend
+        else:
+            print(
+                f"note: {args.experiment} does not take --backend; ignoring",
                 file=sys.stderr,
             )
     fn(**kwargs)

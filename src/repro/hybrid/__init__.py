@@ -1,0 +1,50 @@
+"""Hybrid packet/flow co-simulation backend.
+
+Two coupled tiers (DESIGN.md §6): flows whose paths never cross a
+congested link advance in closed form under the incremental max-min fluid
+model (:mod:`repro.hybrid.fluid`); flows crossing a congested link are
+demoted to the full packet engine with live congestion control
+(:mod:`repro.hybrid.backend`).  The tiers exchange state at congestion-
+epoch boundaries: fluid background load is presented to packet-tier ports
+as serializer-time drains, and measured packet throughput is fed back to
+the fluid tier as residual link capacities.
+
+Entry points:
+
+* :func:`repro.hybrid.backend.run_fct_hybrid` — one (CC, workload) cell
+  under the hybrid backend, mirroring ``run_fct_experiment``.
+* :func:`Simulator` — backend-selecting factory:
+  ``Simulator(backend="packet"|"flow"|"hybrid")``.
+* ``python -m repro.hybrid.validate`` — the fidelity gate against
+  packet-level ground truth.
+"""
+
+from repro.hybrid.fluid import FluidEngine, FluidStallError
+
+BACKENDS = ("packet", "flow", "hybrid")
+
+
+def Simulator(backend: str = "packet", **kwargs):
+    """Backend-selecting factory.
+
+    ``backend="packet"`` returns the discrete-event
+    :class:`repro.sim.engine.Simulator`; ``"flow"`` the max-min fluid
+    :class:`repro.analysis.flowsim.FlowLevelSimulator`; ``"hybrid"`` a
+    :class:`repro.hybrid.backend.HybridSimulator` co-simulation driver.
+    """
+    if backend == "packet":
+        from repro.sim.engine import Simulator as PacketSimulator
+
+        return PacketSimulator(**kwargs)
+    if backend == "flow":
+        from repro.analysis.flowsim import FlowLevelSimulator
+
+        return FlowLevelSimulator(**kwargs)
+    if backend == "hybrid":
+        from repro.hybrid.backend import HybridSimulator
+
+        return HybridSimulator(**kwargs)
+    raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+
+
+__all__ = ["BACKENDS", "FluidEngine", "FluidStallError", "Simulator"]

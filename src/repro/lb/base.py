@@ -233,4 +233,7 @@ def install_lb(
             tc.dupack_rewind = 1
     topo.lb_config = config
     topo.routing_tables = rt
+    # Invalidate any path caches held outside the switches (e.g. the
+    # flow-level simulator's (src, dst, flow_id) path memo).
+    topo.routing_epoch = getattr(topo, "routing_epoch", 0) + 1
     return rt

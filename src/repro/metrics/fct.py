@@ -163,3 +163,21 @@ def _fmt_size(nbytes: int) -> str:
     if nbytes >= KB:
         return f"{nbytes / KB:g}KB"
     return f"{nbytes}B"
+
+
+def ks_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic: the sup-norm distance
+    between the empirical CDFs of ``a`` and ``b``.
+
+    Used by the hybrid backend's validation gate (DESIGN.md §6) to compare
+    whole slowdown *distributions*, which per-bin percentile checks can't:
+    two backends may agree on every bin's p99 yet disagree on the shape in
+    between.  Pure numpy, no scipy dependency."""
+    xa = np.sort(np.asarray(a, dtype=np.float64))
+    xb = np.sort(np.asarray(b, dtype=np.float64))
+    if xa.size == 0 or xb.size == 0:
+        raise ValueError("ks_distance needs non-empty samples")
+    grid = np.concatenate([xa, xb])
+    cdf_a = np.searchsorted(xa, grid, side="right") / xa.size
+    cdf_b = np.searchsorted(xb, grid, side="right") / xb.size
+    return float(np.abs(cdf_a - cdf_b).max())

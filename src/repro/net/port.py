@@ -444,6 +444,21 @@ class Port:
             # Otherwise the frame just parks; _tx_deliver tops up later.
             self._commit(now)
 
+    def bg_drain(self, nbytes: int) -> None:
+        """Steal serializer time for background bytes that exist only in
+        the hybrid backend's fluid tier (DESIGN.md §6): the wire is busy
+        for their serialization, so co-located packet-tier frames queue
+        behind them, but no frame is created — ``tx_bytes`` keeps counting
+        real frames only, which is what the residual-capacity sampler
+        reads back.  Safe against the bounded-commit window invariants:
+        ``next_free_ps`` only ever moves forward, already-committed frames
+        keep their delivery times (the background bytes conceptually slot
+        in behind them), and future commits start from the new tail."""
+        now = self.sim.now
+        nf = self.next_free_ps
+        base = nf if nf > now else now
+        self.next_free_ps = base + round(nbytes * 8000 / self.rate_gbps)
+
     def pause(self, prio: int) -> None:
         """PFC XOFF for one priority (in-flight frame completes).
 

@@ -67,6 +67,10 @@ class Topology:
         # next-hop tables it computed (None for hand-wired routing).
         self.lb_config = None
         self.routing_tables = None
+        # Bumped by install_lb on every (re)install; consumers that cache
+        # routing decisions outside the switches (the flow-level path memo)
+        # compare against it instead of hooking the install path.
+        self.routing_epoch = 0
 
     # -- construction ------------------------------------------------------------
     def add_host(self, name: str, cnp_enabled: bool = False) -> Host:

@@ -30,6 +30,16 @@ N worker processes via :class:`repro.exec.SweepExecutor`; every entry
 records ``jobs`` and ``cpu_count`` so speedup claims carry their
 provenance.
 
+``--backend {packet,flow,hybrid}`` selects the simulation backend for the
+backend-capable scenarios (``paper_scale``, ``million_flows``,
+``million_flows_quick``); entries record a ``backend`` provenance field
+and ``--check``/speedup baselines only compare matching backends (like
+``jobs``/``trains``).  The ≥10x hybrid-vs-packet claim is read off two
+explicitly labelled back-to-back entries::
+
+    python tools/bench.py --scenario paper_scale --backend packet --repeats 1
+    python tools/bench.py --scenario paper_scale --backend hybrid --repeats 1
+
 ``--trains off`` disables the frame-train fast path (byte-identical
 results, per-frame execution) for A/B measurement; entries record the
 mode and ``--check`` only compares entries with matching ``trains`` (like
@@ -74,6 +84,8 @@ for p in (REPO_ROOT / "src", REPO_ROOT):
         sys.path.insert(0, str(p))
 
 from benchmarks.perf_harness import (  # noqa: E402
+    BACKEND_SCENARIOS,
+    DEFAULT_SCENARIOS,
     JOBS_SCENARIOS,
     QUICK_SCENARIOS,
     SCENARIOS,
@@ -105,17 +117,22 @@ def load_trajectory(path: Path) -> list:
     return []
 
 
-def find_baseline(trajectory: list, jobs: int = 1, trains: str = "on") -> dict:
+def find_baseline(
+    trajectory: list, jobs: int = 1, trains: str = "on", backend: str = "default"
+) -> dict:
     """The speedup reference: the entry tagged ``"label": "baseline"``, else
     the oldest entry — considering only entries measured with the same
-    ``jobs`` value and ``trains`` mode.  Comparing wall times across worker
-    counts would report parallelism as hot-path speedup, and across train
-    modes would report the fast path as history (the same rules ``--check``
-    enforces)."""
+    ``jobs`` value, ``trains`` mode and ``backend``.  Comparing wall times
+    across worker counts would report parallelism as hot-path speedup,
+    across train modes would report the fast path as history, and across
+    backends would report the fluid tier as a packet-engine win (the same
+    rules ``--check`` enforces)."""
     candidates = [
         e
         for e in trajectory
-        if entry_jobs(e) == jobs and entry_trains(e) == trains
+        if entry_jobs(e) == jobs
+        and entry_trains(e) == trains
+        and entry_backend(e) == backend
     ]
     for entry in candidates:
         if entry.get("label") == "baseline":
@@ -135,6 +152,17 @@ def entry_trains(entry: dict) -> str:
     new trains-on entry against the pre-train per-frame engine is exactly
     the cross-PR regression comparison the gate exists for."""
     return str(entry.get("trains", "on"))
+
+
+def entry_backend(entry: dict) -> str:
+    """The simulation backend an entry was measured with.  ``"default"``
+    means no ``--backend`` override: every scenario ran its own default
+    (packet for the classic set and ``paper_scale``, hybrid for the
+    ``million_flows`` pair).  A hybrid ``paper_scale`` entry must never be
+    gated against — or used as the speedup baseline for — a packet one;
+    the ≥10x co-simulation ratio is read off *explicitly labelled*
+    back-to-back entries instead."""
+    return str(entry.get("backend", "default"))
 
 
 def check_regression(trajectory: list, threshold: float = 0.15) -> int:
@@ -170,18 +198,23 @@ def check_regression(trajectory: list, threshold: float = 0.15) -> int:
     newest = trajectory[-1]
     jobs = entry_jobs(newest)
     trains = entry_trains(newest)
+    backend = entry_backend(newest)
     prev = None
     prev_pos = -1
     for pos in range(len(trajectory) - 2, -1, -1):
         cand = trajectory[pos]
-        if entry_jobs(cand) == jobs and entry_trains(cand) == trains:
+        if (
+            entry_jobs(cand) == jobs
+            and entry_trains(cand) == trains
+            and entry_backend(cand) == backend
+        ):
             prev = cand
             prev_pos = pos
             break
     if prev is None:
         print(
             f"check: no previous entry measured with jobs={jobs} "
-            f"trains={trains} "
+            f"trains={trains} backend={backend} "
             f"(newest: {newest.get('label') or newest.get('git_rev')}) — "
             "nothing comparable to gate against yet"
         )
@@ -200,7 +233,8 @@ def check_regression(trajectory: list, threshold: float = 0.15) -> int:
     print(
         f"check: entry #{len(trajectory)} ({newest.get('label') or newest.get('git_rev')}) "
         f"vs #{prev_pos + 1} ({prev.get('label') or prev.get('git_rev')}), "
-        f"jobs={jobs}, trains={trains}, threshold +{threshold:.0%} on wall_min_s"
+        f"jobs={jobs}, trains={trains}, backend={backend}, "
+        f"threshold +{threshold:.0%} on wall_min_s"
     )
     for name in shared:
         # Gate on the min over repeats, not the median: robust to noisy-
@@ -271,6 +305,16 @@ def main(argv=None) -> int:
         help="override Port.commit_lookahead for this run (0 = default; "
         "a huge value reproduces the eager commit-everything port, for "
         "apples-to-apples pause-cost comparisons on one machine)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("packet", "flow", "hybrid"),
+        default="",
+        help="simulation backend for the backend-capable scenarios "
+        f"({sorted(BACKEND_SCENARIOS)}); unset keeps each scenario's "
+        "default (packet for paper_scale — the ground-truth baseline — "
+        "hybrid for the million_flows pair); recorded in the entry so "
+        "--check only compares matching backends",
     )
     parser.add_argument(
         "--trains",
@@ -346,7 +390,9 @@ def main(argv=None) -> int:
         # bounded-lookahead port, so this stays a smoke test.
         repeats = 3
     else:
-        names = args.scenario or list(SCENARIOS)
+        # The no-args default set excludes the minutes-scale scenarios
+        # (paper_scale, million_flows) — name them via --scenario.
+        names = args.scenario or list(DEFAULT_SCENARIOS)
         repeats = args.repeats
 
     # An entry is only a jobs=N measurement if a jobs-aware scenario was
@@ -359,14 +405,37 @@ def main(argv=None) -> int:
             f"{sorted(JOBS_SCENARIOS)} honour it); recording entry as jobs=1"
         )
 
+    # Same fragmentation rule for --backend: the flag only means something
+    # when a backend-capable scenario was measured.
+    effective_backend = (
+        args.backend
+        if args.backend and any(n in BACKEND_SCENARIOS for n in names)
+        else "default"
+    )
+    if args.backend and effective_backend == "default":
+        print(
+            f"note: --backend {args.backend} has no effect on {names} (only "
+            f"{sorted(BACKEND_SCENARIOS)} honour it); recording entry as "
+            "backend=default"
+        )
+
     print(
-        f"measuring {names} (repeats={repeats}, jobs={effective_jobs}) ...",
+        f"measuring {names} (repeats={repeats}, jobs={effective_jobs}"
+        + (f", backend={effective_backend}" if effective_backend != "default" else "")
+        + ") ...",
         flush=True,
     )
-    metrics = measure_all(names, repeats=repeats, jobs=effective_jobs)
+    metrics = measure_all(
+        names, repeats=repeats, jobs=effective_jobs, backend=args.backend
+    )
 
     trajectory = load_trajectory(args.out)
-    baseline = find_baseline(trajectory, jobs=effective_jobs, trains=args.trains)
+    baseline = find_baseline(
+        trajectory,
+        jobs=effective_jobs,
+        trains=args.trains,
+        backend=effective_backend,
+    )
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "git_rev": git_rev(),
@@ -376,6 +445,7 @@ def main(argv=None) -> int:
         "jobs": effective_jobs,
         "cpu_count": os.cpu_count(),
         "trains": args.trains,
+        "backend": effective_backend,
         "scenarios": metrics,
     }
     if baseline:
