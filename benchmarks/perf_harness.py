@@ -72,20 +72,28 @@ def _fig9_micro() -> ScenarioResult:
     return [r.sim], [r.topo]
 
 
-def _fig14_websearch() -> ScenarioResult:
+def _fig14_websearch(obs=None) -> ScenarioResult:
     # compare_ccs is the rich in-process path (run_fig14 now reduces to
     # portable summaries); same workload/defaults as the figure runner.
     # Results carry their topologies, so this scenario records frame_hops
     # like the microbench ones (an entry without it cannot distinguish
     # event-count wins from per-event wins).
-    results = compare_ccs(("fncc",), workload="websearch", n_flows=200, seed=1)
+    results = compare_ccs(
+        ("fncc",), workload="websearch", n_flows=200, seed=1, obs=obs
+    )
     return [r.sim for r in results.values()], [r.topo for r in results.values()]
 
 
-def _lbmatrix() -> ScenarioResult:
-    spray = run_lb_cell("spray", "fncc", workload="websearch", n_flows=200, seed=1)
+def _lbmatrix(obs=None) -> ScenarioResult:
+    # With obs, the bundle rides both cells sequentially (re-attached on
+    # the second; its snapshot reflects the last cell — the ConWeave one,
+    # whose reroute counters are what the lb category observes).
+    spray = run_lb_cell(
+        "spray", "fncc", workload="websearch", n_flows=200, seed=1, obs=obs
+    )
     conweave = run_lb_cell(
-        "conweave", "fncc", workload="permutation", perm_flow_bytes=600 * KB, seed=1
+        "conweave", "fncc", workload="permutation", perm_flow_bytes=600 * KB,
+        seed=1, obs=obs,
     )
     return [spray.sim, conweave.sim], [spray.topo, conweave.topo]
 
@@ -225,11 +233,13 @@ def _hybrid_scale_config(strict: bool = False):
     )
 
 
-def _fct_cell(kw: dict, backend: str, strict: bool = False) -> ScenarioResult:
+def _fct_cell(
+    kw: dict, backend: str, strict: bool = False, obs=None
+) -> ScenarioResult:
     if backend == "packet":
         from repro.experiments.fct_experiment import run_fct_experiment
 
-        r = run_fct_experiment("fncc", **kw)
+        r = run_fct_experiment("fncc", obs=obs, **kw)
         assert r.completed() == kw["n_flows"], "packet cell lost flows"
         return [r.sim], [r.topo]
 
@@ -238,7 +248,7 @@ def _fct_cell(kw: dict, backend: str, strict: bool = False) -> ScenarioResult:
 
     cfg = _hybrid_scale_config(strict)
     thr = {"flow": None}.get(backend, cfg.threshold)
-    r = run_fct_hybrid("fncc", config=cfg, threshold=thr, **kw)
+    r = run_fct_hybrid("fncc", config=cfg, threshold=thr, obs=obs, **kw)
     assert r.completed() == kw["n_flows"], "hybrid cell lost flows"
     events = sum(
         r.stats.get(k, 0)
@@ -251,16 +261,16 @@ def _fct_cell(kw: dict, backend: str, strict: bool = False) -> ScenarioResult:
     )
 
 
-def _paper_scale(backend: str = "packet") -> ScenarioResult:
-    return _fct_cell(PAPER_SCALE_KW, backend)
+def _paper_scale(backend: str = "packet", obs=None) -> ScenarioResult:
+    return _fct_cell(PAPER_SCALE_KW, backend, obs=obs)
 
 
-def _million_flows(backend: str = "hybrid") -> ScenarioResult:
-    return _fct_cell(MILLION_FLOWS_KW, backend, strict=True)
+def _million_flows(backend: str = "hybrid", obs=None) -> ScenarioResult:
+    return _fct_cell(MILLION_FLOWS_KW, backend, strict=True, obs=obs)
 
 
-def _million_flows_quick(backend: str = "hybrid") -> ScenarioResult:
-    return _fct_cell(MILLION_FLOWS_QUICK_KW, backend, strict=True)
+def _million_flows_quick(backend: str = "hybrid", obs=None) -> ScenarioResult:
+    return _fct_cell(MILLION_FLOWS_QUICK_KW, backend, strict=True, obs=obs)
 
 
 SCENARIOS: Dict[str, Callable[..., ScenarioResult]] = {
@@ -283,6 +293,49 @@ JOBS_SCENARIOS = frozenset({"sweep"})
 #: --backend``); entries record the flag so ``--check`` never gates a
 #: hybrid entry against a packet one.
 BACKEND_SCENARIOS = frozenset({"paper_scale", "million_flows", "million_flows_quick"})
+
+#: Scenarios whose callable takes ``obs`` (a
+#: :class:`repro.obs.RunObservability` bundle): the set ``tools/bench.py
+#: --ab-obs``/``--progress`` and ``tools/profile.py --obs`` can observe.
+OBS_SCENARIOS = frozenset(
+    {"fig14_websearch", "lbmatrix", "paper_scale", "million_flows",
+     "million_flows_quick"}
+)
+
+#: The default ``--ab-obs`` A/B set: obs-capable, seconds-scale, covers
+#: both the FCT pipeline and the LB dispatch path.
+OBS_AB_SCENARIOS = ("fig14_websearch", "lbmatrix")
+
+#: The last RunObservability bundle built by :func:`measure_scenario`
+#: (``tools/profile.py --obs`` reads it after a profiled run).
+LAST_OBS = None
+
+
+#: Trace categories for harness bundles: the always-cheap set.  ``cc``
+#: wraps the per-ack hot path (cost proportional to CC decisions, ~10% of
+#: wall on ack-heavy scenarios), so the ``--ab-obs`` wall gate measures
+#: the cold-path categories; opt into ``cc`` where the ring matters more
+#: than wall time (``tools/profile.py --obs`` does, via categories=None).
+BENCH_TRACE_CATEGORIES = ("flow", "pfc", "lb", "hybrid")
+
+
+def make_obs(label: str, progress: bool = False, tracer: bool = True,
+             categories=BENCH_TRACE_CATEGORIES):
+    """A registry(+tracer, + optional progress) bundle for harness runs.
+    ``categories=None`` enables every trace category (including the
+    per-ack ``cc`` hook)."""
+    from repro.obs import (
+        EventTracer,
+        MetricsRegistry,
+        ProgressReporter,
+        RunObservability,
+    )
+
+    return RunObservability(
+        registry=MetricsRegistry(),
+        tracer=EventTracer(categories=categories) if tracer else None,
+        progress=ProgressReporter(label=label) if progress else None,
+    )
 
 #: Minutes-scale scenarios: excluded from the no-args default set (run
 #: them via ``--scenario``), and measured without the untimed warmup run —
@@ -314,18 +367,29 @@ def _frame_hops(topos: List[object]) -> int:
 
 
 def measure_scenario(
-    name: str, repeats: int = 3, jobs: int = 1, backend: str = ""
+    name: str,
+    repeats: int = 3,
+    jobs: int = 1,
+    backend: str = "",
+    obs: bool = False,
+    progress: bool = False,
 ) -> Dict[str, float]:
     """Run ``name`` ``repeats`` times (plus one untimed warmup) and return
     the metric dict for one trajectory entry.  ``jobs`` reaches only the
     scenarios in :data:`JOBS_SCENARIOS`; pool startup is deliberately
     *inside* the timed region (it is part of the sweep's wall cost).
     ``backend`` (when non-empty) reaches the :data:`BACKEND_SCENARIOS`;
-    others keep the packet hot path."""
+    others keep the packet hot path.  ``obs``/``progress`` attach one
+    :class:`repro.obs.RunObservability` bundle to the
+    :data:`OBS_SCENARIOS` (re-bound across repeats; it is left on
+    :data:`LAST_OBS` for ``tools/profile.py --obs``)."""
+    global LAST_OBS
     fn = SCENARIOS[name]
     kwargs = {"jobs": jobs} if name in JOBS_SCENARIOS else {}
     if backend and name in BACKEND_SCENARIOS:
         kwargs["backend"] = backend
+    if (obs or progress) and name in OBS_SCENARIOS:
+        LAST_OBS = kwargs["obs"] = make_obs(name, progress=progress, tracer=obs)
     if name not in HEAVY_SCENARIOS:
         fn(**kwargs)  # warmup: imports, routing tables, allocator steady state
     walls: List[float] = []
@@ -351,11 +415,19 @@ def measure_scenario(
 
 
 def measure_all(
-    names=None, repeats: int = 3, jobs: int = 1, backend: str = ""
+    names=None,
+    repeats: int = 3,
+    jobs: int = 1,
+    backend: str = "",
+    obs: bool = False,
+    progress: bool = False,
 ) -> Dict[str, Dict[str, float]]:
     names = list(names) if names is not None else list(DEFAULT_SCENARIOS)
     return {
-        name: measure_scenario(name, repeats=repeats, jobs=jobs, backend=backend)
+        name: measure_scenario(
+            name, repeats=repeats, jobs=jobs, backend=backend, obs=obs,
+            progress=progress,
+        )
         for name in names
     }
 

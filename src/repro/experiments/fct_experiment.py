@@ -92,6 +92,7 @@ class FctSummary:
         seed: int,
         frame_hops: int = 0,
         backend: str = "packet",
+        obs_snapshot: Optional[dict] = None,
     ) -> None:
         self.cc = cc
         self.workload = workload
@@ -108,6 +109,10 @@ class FctSummary:
         # Which simulation backend produced this summary
         # ("packet" | "flow" | "hybrid") — provenance for bench history.
         self.backend = backend
+        # Metrics-registry snapshot taken in the worker (plain dict, so it
+        # pickles home); merged across workers by
+        # :func:`repro.obs.merge_snapshots`.  None when obs was off.
+        self.obs_snapshot = obs_snapshot
 
     def completed(self) -> int:
         return self._completed
@@ -117,7 +122,7 @@ class FctSummary:
 
 
 def summarize_fct_result(
-    result: FctResult, seed: int, backend: str = "packet"
+    result: FctResult, seed: int, backend: str = "packet", obs=None
 ) -> FctSummary:
     from repro.metrics.monitors import topo_frame_hops
 
@@ -134,32 +139,50 @@ def summarize_fct_result(
         seed=seed,
         frame_hops=topo_frame_hops(topo) if topo is not None else 0,
         backend=backend,
+        obs_snapshot=obs.snapshot() if obs is not None else None,
     )
 
 
 def run_fct_summary(
-    cc: str, seed: int = 1, backend: str = "packet", **kwargs
+    cc: str,
+    seed: int = 1,
+    backend: str = "packet",
+    obs=None,
+    obs_snapshot: bool = False,
+    **kwargs,
 ) -> FctSummary:
     """Sweep-spec target: one (CC, workload) cell as a portable summary.
 
     ``backend`` selects the simulation tier: ``"packet"`` (discrete-event,
     the default), ``"flow"`` (pure max-min fluid) or ``"hybrid"``
     (packet-level only across congested links, DESIGN.md §6).
+
+    ``obs`` is a live :class:`repro.obs.RunObservability` bundle (in-
+    process callers only — it is not picklable); ``obs_snapshot=True`` is
+    the pool-safe form, building a registry-only bundle *inside* the
+    worker so the snapshot rides home on the summary and the reduce step
+    can merge snapshots across workers.
     """
+    if obs is None and obs_snapshot:
+        from repro.obs import MetricsRegistry, RunObservability
+
+        obs = RunObservability(registry=MetricsRegistry())
     if backend == "packet":
-        return summarize_fct_result(run_fct_experiment(cc, seed=seed, **kwargs), seed)
+        return summarize_fct_result(
+            run_fct_experiment(cc, seed=seed, obs=obs, **kwargs), seed, obs=obs
+        )
     # Deferred import: repro.hybrid.backend imports this module.
     from repro.hybrid.backend import run_fct_hybrid
 
     if backend == "flow":
-        result = run_fct_hybrid(cc, seed=seed, threshold=None, **kwargs)
+        result = run_fct_hybrid(cc, seed=seed, threshold=None, obs=obs, **kwargs)
     elif backend == "hybrid":
-        result = run_fct_hybrid(cc, seed=seed, **kwargs)
+        result = run_fct_hybrid(cc, seed=seed, obs=obs, **kwargs)
     else:
         raise ValueError(
             f"backend must be one of ('packet', 'flow', 'hybrid'), got {backend!r}"
         )
-    return summarize_fct_result(result, seed, backend=backend)
+    return summarize_fct_result(result, seed, backend=backend, obs=obs)
 
 
 class FctFabric:
@@ -226,35 +249,75 @@ def build_fct_fabric(
     return FctFabric(sim, topo, env, collector, flows, bins, cdf)
 
 
-def drive_fct(sim: Simulator, collector: FctCollector, n_flows: int, max_horizon_ms: float) -> None:
+def drive_fct(
+    sim: Simulator,
+    collector: FctCollector,
+    n_flows: int,
+    max_horizon_ms: float,
+    progress=None,
+) -> None:
     """Chunked drive loop: run until every launched flow completes or the
     horizon elapses (stragglers under a misbehaving CC should not hang the
-    harness; the completion count is part of the result)."""
+    harness; the completion count is part of the result).
+
+    ``progress`` (a :class:`repro.obs.ProgressReporter`) heartbeats once
+    per chunk, wall-clock rate-limited; the first chunk is forced so even
+    a short run prints at least one line.
+    """
     horizon = round(max_horizon_ms * MS)
     chunk = MS // 2
     t = 0
+    first = True
     while collector.completed() < n_flows and t < horizon:
         t = min(t + chunk, horizon)
         sim.run(until=t)
+        if progress is not None:
+            progress.tick(
+                sim,
+                completed=collector.completed(),
+                total=n_flows,
+                horizon_ps=horizon,
+                force=first,
+            )
+            first = False
         if sim.peek() is None:
             break
+    if progress is not None:
+        progress.finish(sim, completed=collector.completed(), total=n_flows)
 
 
 def run_fct_experiment(
     cc: str,
     workload: str = "websearch",
     max_horizon_ms: float = 50.0,
+    obs=None,
     **kwargs,
 ) -> FctResult:
     """Run one (CC, workload) cell of Figs. 14/15.
 
     ``lb`` selects the load-balancing strategy (name or
     :class:`repro.lb.LbConfig`); None keeps the symmetric-ECMP baseline.
-    See :func:`build_fct_fabric` for the remaining knobs.
+    ``obs`` attaches a :class:`repro.obs.RunObservability` bundle to the
+    cell (registry snapshot, trace hooks, flight guard, progress) —
+    registry/tracer observability is byte-identical and train-safe
+    (``tests/obs`` pins it).  See :func:`build_fct_fabric` for the
+    remaining knobs.
     """
     fab = build_fct_fabric(cc, workload=workload, **kwargs)
-    launch_flows(fab.topo, fab.flows, fab.env)
-    drive_fct(fab.sim, fab.collector, len(fab.flows), max_horizon_ms)
+    if obs is None:
+        launch_flows(fab.topo, fab.flows, fab.env)
+        drive_fct(fab.sim, fab.collector, len(fab.flows), max_horizon_ms)
+    else:
+        obs.attach(fab.sim, fab.topo, collector=fab.collector)
+        with obs.guard(sim=fab.sim, topo=fab.topo):
+            launch_flows(fab.topo, fab.flows, fab.env)
+            drive_fct(
+                fab.sim,
+                fab.collector,
+                len(fab.flows),
+                max_horizon_ms,
+                progress=obs.progress,
+            )
     return FctResult(
         cc, workload, fab.collector, fab.bins, len(fab.flows), fab.sim, topo=fab.topo
     )

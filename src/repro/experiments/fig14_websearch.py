@@ -8,12 +8,14 @@ latency throughout.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+import sys
+from typing import Dict, Optional, Sequence
 
 from repro.experiments.fct_experiment import (
     FctSummary,
     compare_ccs_sweep,
     format_panel,
+    run_fct_summary,
 )
 from repro.metrics.fct import PERCENTILE_COLUMNS
 
@@ -64,8 +66,80 @@ def long_flow_median_reduction(results: Dict[str, FctSummary], min_size_scaled: 
     return out
 
 
-def main(jobs: int = 1, seed: int = 1, backend: str = "packet") -> None:
-    results = run_fig14(seed=seed, jobs=jobs, backend=backend)
+def _run_fig14_observed(
+    ccs: Sequence[str],
+    seed: int,
+    backend: str,
+    n_flows: int,
+    trace: Optional[str],
+    progress: bool,
+) -> Dict[str, FctSummary]:
+    """The telemetry path: one per-run :class:`~repro.obs.RunObservability`
+    bundle per CC cell, run in-process (trace hooks and live progress
+    cannot cross a process pool), merged into one Chrome trace file — one
+    trace *process* per cell — with the merged registry snapshot riding
+    in ``otherData``."""
+    from repro.obs import (
+        EventTracer,
+        MetricsRegistry,
+        ProgressReporter,
+        RunObservability,
+        export_chrome_trace,
+        merge_snapshots,
+    )
+
+    results: Dict[str, FctSummary] = {}
+    bundles = []
+    for cc in ccs:
+        obs = RunObservability(
+            registry=MetricsRegistry(),
+            tracer=EventTracer() if trace else None,
+            progress=ProgressReporter(label=cc) if progress else None,
+        )
+        results[cc] = run_fct_summary(
+            cc,
+            seed=seed,
+            backend=backend,
+            obs=obs,
+            workload="websearch",
+            k=4,
+            load=0.5,
+            n_flows=n_flows,
+            scale=0.1,
+        )
+        obs.detach()
+        bundles.append((cc, obs))
+    if trace:
+        export_chrome_trace(
+            trace,
+            [(cc, obs.tracer) for cc, obs in bundles],
+            registry=merge_snapshots(obs.snapshot() for _, obs in bundles),
+        )
+        print(f"trace written to {trace}", file=sys.stderr)
+    return results
+
+
+def main(
+    jobs: int = 1,
+    seed: int = 1,
+    backend: str = "packet",
+    quick: bool = False,
+    trace: Optional[str] = None,
+    progress: bool = False,
+) -> None:
+    n_flows = 60 if quick else 200
+    if trace or progress:
+        if jobs != 1:
+            print(
+                "note: --trace/--progress run in-process; ignoring --jobs",
+                file=sys.stderr,
+            )
+        results = _run_fig14_observed(
+            CCS, seed=seed, backend=backend, n_flows=n_flows,
+            trace=trace, progress=progress,
+        )
+    else:
+        results = run_fig14(seed=seed, jobs=jobs, backend=backend, n_flows=n_flows)
     for col in PERCENTILE_COLUMNS:
         print(format_panel(results, col, f"\nFig 14 ({col}) — WebSearch @50% load, FCT slowdown"))
     completed = {cc: r.completed() for cc, r in results.items()}

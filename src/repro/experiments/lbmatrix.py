@@ -17,6 +17,7 @@ elephants on one uplink while spray/flowlet use the full path set.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -179,9 +180,15 @@ def run_lb_cell(
     load: float = 0.5,
     scale: float = 0.1,
     max_horizon_ms: float = 20.0,
+    obs=None,
     **cc_params,
 ) -> LbCell:
-    """Run one (topo, workload, lb, cc) cell and collect FCTs."""
+    """Run one (topo, workload, lb, cc) cell and collect FCTs.
+
+    ``obs`` optionally attaches a :class:`repro.obs.RunObservability`
+    bundle to the cell (registry reads the LB reroute/probe counters at
+    snapshot time; the ``lb`` trace category hooks the reroute callback) —
+    in-process callers only, it is not picklable."""
     if topo_name not in TOPOS:
         raise ValueError(f"topo must be one of {TOPOS}")
     if workload not in WORKLOADS:
@@ -228,17 +235,25 @@ def run_lb_cell(
             load=load,
             seeds=seeds,
         ).generate(n_flows)
-    launch_flows(topo, flows, env)
+    if obs is not None:
+        obs.attach(sim, topo, collector=collector)
 
     total = len(flows)
     horizon = round(max_horizon_ms * MS)
     chunk = MS // 2
-    t = 0
-    while collector.completed() < total and t < horizon:
-        t = min(t + chunk, horizon)
-        sim.run(until=t)
-        if sim.peek() is None:
-            break
+    with obs.guard(sim=sim, topo=topo) if obs is not None else nullcontext():
+        launch_flows(topo, flows, env)
+        t = 0
+        while collector.completed() < total and t < horizon:
+            t = min(t + chunk, horizon)
+            sim.run(until=t)
+            if obs is not None and obs.progress is not None:
+                obs.progress.tick(
+                    sim, completed=collector.completed(), total=total,
+                    horizon_ps=horizon,
+                )
+            if sim.peek() is None:
+                break
     return LbCell((topo_name, workload, lb, cc), collector, total, sim, topo=topo)
 
 

@@ -59,7 +59,7 @@ def _accepted_options(fn: Callable[..., None]) -> set:
         params = inspect.signature(fn).parameters
     except (TypeError, ValueError):  # pragma: no cover - builtins etc.
         return set()
-    return {"jobs", "seed", "quick", "backend"} & set(params)
+    return {"jobs", "seed", "quick", "backend", "trace", "progress"} & set(params)
 
 
 def main(argv=None) -> int:
@@ -95,6 +95,20 @@ def main(argv=None) -> int:
         "fig15): packet = discrete-event ground truth, flow = max-min "
         "fluid model, hybrid = packet/flow co-simulation (DESIGN.md §6)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON (chrome://tracing / Perfetto) "
+        "of the run to PATH, for experiments that support it; includes the "
+        "metrics-registry snapshot under otherData.registry",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print wall-clock heartbeats (sim-time, events/s, flows, ETA) "
+        "to stderr during long runs, for experiments that support it",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
@@ -107,7 +121,9 @@ def main(argv=None) -> int:
             marker = ""
             if "jobs" in opts:
                 flags = "/".join(
-                    f"--{o}" for o in ("jobs", "seed", "quick", "backend") if o in opts
+                    f"--{o}"
+                    for o in ("jobs", "seed", "quick", "backend", "trace", "progress")
+                    if o in opts
                 )
                 marker = f"[sweep: {flags}]"
             print(f"{name:<14}{marker}")
@@ -147,6 +163,22 @@ def main(argv=None) -> int:
         else:
             print(
                 f"note: {args.experiment} does not take --backend; ignoring",
+                file=sys.stderr,
+            )
+    if args.trace is not None:
+        if "trace" in opts:
+            kwargs["trace"] = args.trace
+        else:
+            print(
+                f"note: {args.experiment} does not take --trace; ignoring",
+                file=sys.stderr,
+            )
+    if args.progress:
+        if "progress" in opts:
+            kwargs["progress"] = True
+        else:
+            print(
+                f"note: {args.experiment} does not take --progress; ignoring",
                 file=sys.stderr,
             )
     fn(**kwargs)

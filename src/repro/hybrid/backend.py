@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_right
+from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.experiments.common import launch_flows
@@ -239,11 +240,25 @@ def _schedule_bg_drains(
 
 class _ResidualSampler:
     """Per-epoch ``tx_bytes`` deltas on the shared links: what the packet
-    tier actually used, fed back to the fluid tier as reduced capacity."""
+    tier actually used, fed back to the fluid tier as reduced capacity.
 
-    def __init__(self, fab: FctFabric, links: Sequence[Tuple[str, str]], epoch_ps: int) -> None:
+    This is the hybrid backend's epoch loop, so it doubles as the epoch-
+    exchange observation point: with ``obs`` attached, each tick emits a
+    ``hybrid``-category trace event and heartbeats the progress reporter.
+    Observation is read-only (the counters are read either way), so the
+    schedule is identical with obs on or off.
+    """
+
+    def __init__(
+        self,
+        fab: FctFabric,
+        links: Sequence[Tuple[str, str]],
+        epoch_ps: int,
+        obs=None,
+    ) -> None:
         self.sim = fab.sim
         self.epoch_ps = epoch_ps
+        self.obs = obs
         self.ports = {lk: _directed_port(fab.topo, *lk)[0] for lk in links}
         self.prev = {lk: 0 for lk in self.ports}
         #: LinkKey -> {epoch index: packet-tier bytes}
@@ -255,13 +270,27 @@ class _ResidualSampler:
 
     def _tick(self, _arg) -> None:
         e = self._epoch
+        epoch_bytes = 0
         for lk, port in self.ports.items():
             tx = port.tx_bytes
             d = tx - self.prev[lk]
             if d:
                 self.used[lk][e] = d
                 self.prev[lk] = tx
+                epoch_bytes += d
         self._epoch = e + 1
+        obs = self.obs
+        if obs is not None:
+            if obs.tracer is not None:
+                obs.tracer.emit(
+                    "hybrid",
+                    "epoch",
+                    self.sim.now,
+                    args={"epoch": e, "links": len(self.ports),
+                          "packet_bytes": epoch_bytes},
+                )
+            if obs.progress is not None:
+                obs.progress.tick(self.sim)
         if not self._stopped:
             self.sim.schedule_at((self._epoch + 1) * self.epoch_ps, self._tick, None)
 
@@ -284,6 +313,7 @@ def run_fct_hybrid(
     config: Optional[HybridConfig] = None,
     threshold=_UNSET,
     classify_fn: Optional[Callable[[Flow], bool]] = None,
+    obs=None,
     **fabric_kwargs,
 ) -> HybridFctResult:
     """One (CC, workload) cell under the hybrid backend; mirrors
@@ -291,41 +321,63 @@ def run_fct_hybrid(
 
     ``threshold`` overrides ``config.threshold``; ``classify_fn(flow) ->
     bool`` (True = demote to packet) replaces the congestion-overlap
-    predicate entirely — the partition-invariance test hook.
+    predicate entirely — the partition-invariance test hook.  ``obs`` is
+    an optional :class:`repro.obs.RunObservability` bundle: it rides the
+    packet-phase fabric (re-attached on refine-round rebuilds), the
+    epoch-exchange sampler heartbeats its progress reporter, every phase
+    transition is announced, and the phase-stats dict lands in its
+    registry before each return.
     """
     cfg = config or HybridConfig()
     thr = cfg.threshold if threshold is _UNSET else threshold
+
+    def _observed(stats: Dict[str, int]) -> Dict[str, int]:
+        if obs is not None:
+            obs.observe_hybrid(stats)
+        return stats
 
     # -- degenerate tiers ---------------------------------------------------
     if classify_fn is None and thr is not None and thr <= 0:
         # Everything demotes: the packet experiment verbatim, so the FCT
         # fingerprint is byte-identical by construction.
         res = run_fct_experiment(
-            cc, workload=workload, max_horizon_ms=max_horizon_ms, **fabric_kwargs
+            cc, workload=workload, max_horizon_ms=max_horizon_ms, obs=obs,
+            **fabric_kwargs,
         )
         return HybridFctResult(
             cc, workload, list(res.collector.records), res.bins, res.n_flows,
             res.sim, res.topo,
-            {"demoted": res.n_flows, "fluid": 0, "refine_rounds": 0},
+            _observed({"demoted": res.n_flows, "fluid": 0, "refine_rounds": 0}),
         )
 
     fab = build_fct_fabric(cc, workload=workload, **fabric_kwargs)
+    if obs is not None:
+        # Bind the bundle even on paths that never drive the packet sim
+        # (all-fluid) so the registry snapshot always carries the engine
+        # and port keys; re-attached below whenever the fabric rebuilds.
+        obs.attach(fab.sim, fab.topo, collector=fab.collector)
     fls, path_fn = _fluid_sim(fab.topo)
     flows = fab.flows
     n_flows = len(flows)
     epoch_ps = us(cfg.epoch_us)
 
+    def _guard():
+        return obs.guard(sim=fab.sim, topo=fab.topo) if obs is not None else nullcontext()
+
     all_fluid = classify_fn is None and (
         thr is None or (isinstance(thr, float) and math.isinf(thr))
     )
     if all_fluid:
-        fres = fls.run(
-            flows, path_fn, rate_eps=cfg.rate_eps, ripple_rounds=cfg.ripple_rounds
-        )
+        if obs is not None:
+            obs.phase("fluid", flows=n_flows)
+        with _guard():
+            fres = fls.run(
+                flows, path_fn, rate_eps=cfg.rate_eps, ripple_rounds=cfg.ripple_rounds
+            )
         return HybridFctResult(
             cc, workload, list(fres.records), fab.bins, n_flows, None, fab.topo,
-            {"demoted": 0, "fluid": n_flows, "refine_rounds": 0,
-             "fluid_events": fres.n_events},
+            _observed({"demoted": 0, "fluid": n_flows, "refine_rounds": 0,
+                       "fluid_events": fres.n_events}),
         )
 
     # -- 1. classification pass --------------------------------------------
@@ -335,13 +387,16 @@ def run_fct_hybrid(
         # Paths are still needed for the background-pass link overlap.
         paths = {f.flow_id: path_fn(f) for f in flows}
     else:
-        cres = fls.run(
-            flows,
-            path_fn,
-            congestion=(thr, cfg.min_link_flows),
-            rate_eps=cfg.rate_eps,
-            ripple_rounds=cfg.ripple_rounds,
-        )
+        if obs is not None:
+            obs.phase("classify", flows=n_flows, threshold=thr)
+        with _guard():
+            cres = fls.run(
+                flows,
+                path_fn,
+                congestion=(thr, cfg.min_link_flows),
+                rate_eps=cfg.rate_eps,
+                ripple_rounds=cfg.ripple_rounds,
+            )
         paths = cres.paths
         demoted = set()
         frac = cfg.congested_frac
@@ -393,6 +448,9 @@ def run_fct_hybrid(
         stats["congested_links"] = len(cres.congestion_intervals)
         stats["classify_events"] = cres.n_events
 
+    if obs is not None:
+        obs.trace_each("hybrid", "demote", sorted(demoted), key="flow")
+
     by_id = {f.flow_id: f for f in flows}
     rounds_used = 0
     while True:
@@ -400,27 +458,32 @@ def run_fct_hybrid(
         if not fluid_ids:
             # Refinement (or the classifier) demoted everything.
             res = run_fct_experiment(
-                cc, workload=workload, max_horizon_ms=max_horizon_ms, **fabric_kwargs
+                cc, workload=workload, max_horizon_ms=max_horizon_ms, obs=obs,
+                **fabric_kwargs,
             )
             stats.update(
                 {"demoted": n_flows, "fluid": 0, "refine_rounds": rounds_used}
             )
             return HybridFctResult(
                 cc, workload, list(res.collector.records), res.bins, n_flows,
-                res.sim, res.topo, stats,
+                res.sim, res.topo, _observed(stats),
             )
         demoted_flows = [f for f in flows if f.flow_id in demoted]
         if not demoted_flows:
-            fres = fls.run(
-                flows, path_fn, rate_eps=cfg.rate_eps, ripple_rounds=cfg.ripple_rounds
-            )
+            if obs is not None:
+                obs.phase("fluid", flows=n_flows)
+            with _guard():
+                fres = fls.run(
+                    flows, path_fn, rate_eps=cfg.rate_eps,
+                    ripple_rounds=cfg.ripple_rounds,
+                )
             stats.update(
                 {"demoted": 0, "fluid": n_flows, "refine_rounds": rounds_used,
                  "fluid_events": fres.n_events}
             )
             return HybridFctResult(
                 cc, workload, list(fres.records), fab.bins, n_flows, None,
-                fab.topo, stats,
+                fab.topo, _observed(stats),
             )
 
         # Links where the tiers meet: on a demoted path AND a fluid path.
@@ -435,13 +498,18 @@ def run_fct_hybrid(
         shared = sorted(shared_links)
 
         # -- 2. background pass ------------------------------------------
-        bres = fls.run(
-            flows,
-            path_fn,
-            bg=(epoch_ps, shared, fluid_ids),
-            rate_eps=cfg.rate_eps,
-            ripple_rounds=cfg.ripple_rounds,
-        )
+        if obs is not None:
+            obs.phase(
+                "background", round=rounds_used, shared_links=len(shared)
+            )
+        with _guard():
+            bres = fls.run(
+                flows,
+                path_fn,
+                bg=(epoch_ps, shared, fluid_ids),
+                rate_eps=cfg.rate_eps,
+                ripple_rounds=cfg.ripple_rounds,
+            )
 
         # -- 3. packet phase ---------------------------------------------
         if rounds_used > 0:
@@ -450,12 +518,25 @@ def run_fct_hybrid(
             # fabric, flows and routing).
             fab = build_fct_fabric(cc, workload=workload, **fabric_kwargs)
             demoted_flows = [f for f in fab.flows if f.flow_id in demoted]
+            if obs is not None:
+                obs.attach(fab.sim, fab.topo, collector=fab.collector)
         stats["bg_drain_events"] = _schedule_bg_drains(
             fab, bres.bg_bytes, epoch_ps, cfg.bg_quantum_bytes
         )
-        sampler = _ResidualSampler(fab, shared, epoch_ps)
-        launch_flows(fab.topo, demoted_flows, fab.env)
-        drive_fct(fab.sim, fab.collector, len(demoted_flows), max_horizon_ms)
+        sampler = _ResidualSampler(fab, shared, epoch_ps, obs=obs)
+        if obs is not None:
+            obs.phase(
+                "packet", round=rounds_used, demoted=len(demoted_flows)
+            )
+        with _guard():
+            launch_flows(fab.topo, demoted_flows, fab.env)
+            drive_fct(
+                fab.sim,
+                fab.collector,
+                len(demoted_flows),
+                max_horizon_ms,
+                progress=obs.progress if obs is not None else None,
+            )
         sampler.stop()
 
         # -- 4. refine: packet-only effects the fluid tier can't see ------
@@ -480,6 +561,11 @@ def run_fct_hybrid(
         if not grew:
             break
         rounds_used += 1
+        if obs is not None:
+            obs.phase(
+                "refine", round=rounds_used, hot_links=len(hot_links),
+                demoted=len(demoted),
+            )
 
     # -- 5. final fluid pass with residual capacities ----------------------
     sched: List[Tuple[int, Tuple[str, str], float]] = []
@@ -498,13 +584,18 @@ def run_fct_hybrid(
         sched.append(((last + 1) * epoch_ps, lk, rate_gbps))
 
     fluid_flows = [by_id[fid] for fid in fluid_ids]
-    fres = fls.run(
-        fluid_flows,
-        path_fn,
-        cap_schedule=sched,
-        rate_eps=cfg.rate_eps,
-        ripple_rounds=cfg.ripple_rounds,
-    )
+    if obs is not None:
+        obs.phase(
+            "final-fluid", flows=len(fluid_flows), cap_entries=len(sched)
+        )
+    with _guard():
+        fres = fls.run(
+            fluid_flows,
+            path_fn,
+            cap_schedule=sched,
+            rate_eps=cfg.rate_eps,
+            ripple_rounds=cfg.ripple_rounds,
+        )
 
     records = list(fab.collector.records) + list(fres.records)
     stats.update(
@@ -519,7 +610,8 @@ def run_fct_hybrid(
         }
     )
     return HybridFctResult(
-        cc, workload, records, fab.bins, n_flows, fab.sim, fab.topo, stats
+        cc, workload, records, fab.bins, n_flows, fab.sim, fab.topo,
+        _observed(stats),
     )
 
 

@@ -91,6 +91,11 @@ class ConWeaveLiteLB(LoadBalancer):
         self.hash_cache: Dict[tuple, int] = {}
         self.reroutes = 0
         self.probes = 0
+        #: Observability callback slot (repro.obs.trace sets it): invoked
+        #: as ``on_reroute(now, src, dst, flow_id, old_port, new_port)``
+        #: on the reroute branch only — no per-packet cost when unset, and
+        #: no wrapper on ``router`` so the train gate is untouched.
+        self.on_reroute = None
 
     def _sweep(self, now: int) -> None:
         """Evict flows idle for > 8 epoch gaps (their next packet simply
@@ -187,6 +192,9 @@ class ConWeaveLiteLB(LoadBalancer):
                         state[_EPOCH] = new_tag
                         state[_STARTED] = now
                         lb.reroutes += 1
+                        cb = lb.on_reroute
+                        if cb is not None:
+                            cb(now, src, dst, fid, cur_port, best_port)
                         # The packet in hand is the old epoch's tail: it
                         # drains the old path and tells the receiver the
                         # reroute is complete once it arrives in order.

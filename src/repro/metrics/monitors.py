@@ -25,30 +25,62 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.transport.sender import SenderQP
 
 
-class QueueSampler:
-    """Samples one egress queue's backlog (bytes) every ``interval_ps``."""
+class _PeriodicSampler:
+    """Shared sampler lifecycle: one :class:`Periodic`, one
+    :class:`TimeSeries`, context-manager semantics, and registration with
+    the owning :class:`Simulator` so ``sim.stop_monitors()`` (called by
+    the flight recorder when a run raises) disarms every pending tick —
+    without it, a sampler built in a ``try`` body leaked its ``Periodic``
+    into the heap forever.
 
-    def __init__(self, sim: "Simulator", port: "Port", interval_ps: int = us(1)) -> None:
-        self.port = port
-        self.series = TimeSeries(f"qlen:{port.node.name}.{port.index}")
+    ``with QueueSampler(sim, port) as mon: ...`` stops on exit; ``stop``
+    stays callable directly and is idempotent either way.
+    """
+
+    def __init__(self, sim: "Simulator", interval_ps: int, name: str,
+                 first_offset: "int | None") -> None:
+        self.series = TimeSeries(name)
         self._periodic = Periodic(sim, interval_ps, self._sample)
-        self._periodic.start(offset=0)
+        register = getattr(sim, "register_monitor", None)
+        if register is not None:
+            register(self)
+        self._periodic.start(offset=first_offset)
 
-    def _sample(self, now: int) -> None:
-        self.series.append(now, float(self.port.qbytes_total))
+    def _sample(self, now: int) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
 
     def stop(self) -> None:
         self._periodic.stop()
 
+    def __enter__(self):
+        return self
 
-class RateSampler:
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+
+class QueueSampler(_PeriodicSampler):
+    """Samples one egress queue's backlog (bytes) every ``interval_ps``."""
+
+    def __init__(self, sim: "Simulator", port: "Port", interval_ps: int = us(1)) -> None:
+        self.port = port
+        super().__init__(
+            sim, interval_ps, f"qlen:{port.node.name}.{port.index}", first_offset=0
+        )
+
+    def _sample(self, now: int) -> None:
+        self.series.append(now, float(self.port.qbytes_total))
+
+
+class RateSampler(_PeriodicSampler):
     """Samples a sender QP's current pacing rate (Gb/s)."""
 
     def __init__(self, sim: "Simulator", qp: "SenderQP", interval_ps: int = us(1)) -> None:
         self.qp = qp
-        self.series = TimeSeries(f"rate:flow{qp.flow.flow_id}")
-        self._periodic = Periodic(sim, interval_ps, self._sample)
-        self._periodic.start(offset=0)
+        super().__init__(
+            sim, interval_ps, f"rate:flow{qp.flow.flow_id}", first_offset=0
+        )
 
     def _sample(self, now: int) -> None:
         qp = self.qp
@@ -58,21 +90,20 @@ class RateSampler:
             rate = min(qp.rate_gbps, qp.line_rate_gbps)
         self.series.append(now, rate)
 
-    def stop(self) -> None:
-        self._periodic.stop()
 
-
-class UtilizationSampler:
+class UtilizationSampler(_PeriodicSampler):
     """Fraction of a port's capacity used per interval (achieved goodput of
     the link, the paper's 'utilization')."""
 
     def __init__(self, sim: "Simulator", port: "Port", interval_ps: int = us(5)) -> None:
         self.port = port
         self.interval_ps = interval_ps
-        self.series = TimeSeries(f"util:{port.node.name}.{port.index}")
         self._last_tx_bytes = port.tx_bytes
-        self._periodic = Periodic(sim, interval_ps, self._sample)
-        self._periodic.start()
+        # First tick at one full interval (no offset-0 sample): a delta
+        # sampler has nothing to report at t=0.
+        super().__init__(
+            sim, interval_ps, f"util:{port.node.name}.{port.index}", first_offset=None
+        )
 
     def _sample(self, now: int) -> None:
         tx = self.port.tx_bytes
@@ -80,9 +111,6 @@ class UtilizationSampler:
         self._last_tx_bytes = tx
         capacity_time = serialization_ps(delta, self.port.rate_gbps)
         self.series.append(now, min(1.0, capacity_time / self.interval_ps))
-
-    def stop(self) -> None:
-        self._periodic.stop()
 
 
 def pause_frame_count(switches: Iterable["Switch"]) -> int:

@@ -1,8 +1,16 @@
-"""A small (time, value) series container with NumPy export."""
+"""A small (time, value) series container with NumPy export.
+
+Times are append-only and sorted (samplers only move forward), so every
+windowed query locates its endpoints with ``bisect`` instead of the old
+O(n) zip-scan, and reductions run over a cached NumPy view of the values
+(rebuilt lazily when the length changes — append-only means a length
+check is a complete staleness test).
+"""
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from bisect import bisect_left, bisect_right
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -10,12 +18,13 @@ import numpy as np
 class TimeSeries:
     """Append-only time series; values are floats, times are picoseconds."""
 
-    __slots__ = ("name", "times", "values")
+    __slots__ = ("name", "times", "values", "_cache")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self.times: List[int] = []
         self.values: List[float] = []
+        self._cache: Optional[np.ndarray] = None
 
     def append(self, t_ps: int, value: float) -> None:
         self.times.append(t_ps)
@@ -23,6 +32,14 @@ class TimeSeries:
 
     def __len__(self) -> int:
         return len(self.times)
+
+    def _vals(self) -> np.ndarray:
+        """The cached float64 view of ``values`` (hot for repeated
+        windowed queries during analysis; appends invalidate by length)."""
+        cache = self._cache
+        if cache is None or len(cache) != len(self.values):
+            self._cache = cache = np.asarray(self.values, dtype=np.float64)
+        return cache
 
     def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         return np.asarray(self.times, dtype=np.int64), np.asarray(
@@ -37,37 +54,46 @@ class TimeSeries:
 
     def mean_after(self, t_ps: int) -> float:
         """Mean of samples at or after ``t_ps`` (skip warm-up transients)."""
-        vals = [v for t, v in zip(self.times, self.values) if t >= t_ps]
-        return float(np.mean(vals)) if vals else 0.0
+        i = bisect_left(self.times, t_ps)
+        if i >= len(self.values):
+            return 0.0
+        return float(self._vals()[i:].mean())
+
+    def percentile(self, q: float, after_ps: int = 0) -> float:
+        """The ``q``-th percentile (0-100, linear interpolation) of samples
+        at or after ``after_ps`` — the slowdown-CDF building block."""
+        i = bisect_left(self.times, after_ps) if after_ps else 0
+        if i >= len(self.values):
+            return 0.0
+        return float(np.percentile(self._vals()[i:], q))
 
     def max_after(self, t_ps: int) -> float:
-        vals = [v for t, v in zip(self.times, self.values) if t >= t_ps]
-        return max(vals) if vals else 0.0
+        i = bisect_left(self.times, t_ps)
+        if i >= len(self.values):
+            return 0.0
+        return float(self._vals()[i:].max())
 
     def max_between(self, t0_ps: int, t1_ps: int) -> float:
         """Largest sample in the window [t0, t1]."""
-        vals = [v for t, v in zip(self.times, self.values) if t0_ps <= t <= t1_ps]
-        return max(vals) if vals else 0.0
+        lo = bisect_left(self.times, t0_ps)
+        hi = bisect_right(self.times, t1_ps)
+        if lo >= hi:
+            return 0.0
+        return float(self._vals()[lo:hi].max())
 
     def value_at(self, t_ps: int) -> float:
         """Last sample at or before ``t_ps`` (step interpolation)."""
-        best = 0.0
-        for t, v in zip(self.times, self.values):
-            if t > t_ps:
-                break
-            best = v
-        return best
+        i = bisect_right(self.times, t_ps)
+        return self.values[i - 1] if i else 0.0
 
     def first_time_below(self, threshold: float, after_ps: int = 0) -> int:
         """First sample time >= ``after_ps`` whose value is < ``threshold``;
         -1 if never."""
-        for t, v in zip(self.times, self.values):
-            if t >= after_ps and v < threshold:
-                return t
-        return -1
+        i = bisect_left(self.times, after_ps)
+        hits = np.nonzero(self._vals()[i:] < threshold)[0]
+        return self.times[i + int(hits[0])] if hits.size else -1
 
     def first_time_above(self, threshold: float, after_ps: int = 0) -> int:
-        for t, v in zip(self.times, self.values):
-            if t >= after_ps and v > threshold:
-                return t
-        return -1
+        i = bisect_left(self.times, after_ps)
+        hits = np.nonzero(self._vals()[i:] > threshold)[0]
+        return self.times[i + int(hits[0])] if hits.size else -1

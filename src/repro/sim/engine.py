@@ -118,6 +118,8 @@ class Simulator:
         "_stopped",
         "events_dispatched",
         "trains_enabled",
+        "obs",
+        "monitors",
     )
 
     def __init__(self, trains: Optional[bool] = None) -> None:
@@ -131,6 +133,12 @@ class Simulator:
         # Frame-train fast path (see module docstring / TRAINS).  Read by
         # ports at construction time; semantics are identical either way.
         self.trains_enabled: bool = TRAINS if trains is None else trains
+        # The run's observability bundle (repro.obs.RunObservability), set
+        # by its attach(); None on un-instrumented runs.  Registry reads are
+        # pull-based, so this costs nothing on the dispatch path.
+        self.obs = None
+        # Periodic samplers registered for auto-stop (see stop_monitors).
+        self.monitors: list = []
 
     # -- scheduling ---------------------------------------------------------
     def schedule(self, delay: int, fn: Callable[[Any], None], arg: Any = None) -> Event:
@@ -317,6 +325,20 @@ class Simulator:
             if len(pool) < _POOL_MAX:
                 pool.append(ev)
         return None
+
+    def register_monitor(self, monitor) -> None:
+        """Register a sampler-like object (anything with ``stop()``) for
+        :meth:`stop_monitors`.  Samplers self-register at construction so a
+        run that raises can disarm every pending ``Periodic`` in one call
+        (the flight recorder does exactly that before dumping state)."""
+        self.monitors.append(monitor)
+
+    def stop_monitors(self) -> None:
+        """Stop every registered monitor.  Idempotent: each monitor's own
+        ``stop()`` is required to tolerate repeated calls."""
+        for monitor in self.monitors:
+            monitor.stop()
+        self.monitors.clear()
 
     def queue_len(self) -> int:
         """Number of events in the heap (including cancelled ones)."""

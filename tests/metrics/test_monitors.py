@@ -43,12 +43,36 @@ class TestQueueSampler:
 
     def test_stop_freezes_series(self, sim):
         topo, qps = loaded_dumbbell(sim)
-        mon = QueueSampler(sim, topo.switches[0].ports[0], interval_ps=us(1))
-        sim.run(until=us(10))
-        mon.stop()
+        # Context-manager form: leaving the block stops the sampler, so a
+        # raise mid-run can't leak an armed Periodic.
+        with QueueSampler(sim, topo.switches[0].ports[0], interval_ps=us(1)) as mon:
+            sim.run(until=us(10))
         n = len(mon.series)
         sim.run(until=us(50))
         assert len(mon.series) == n
+
+    def test_exception_in_with_block_still_stops(self, sim):
+        topo, qps = loaded_dumbbell(sim)
+        with pytest.raises(RuntimeError):
+            with QueueSampler(
+                sim, topo.switches[0].ports[0], interval_ps=us(1)
+            ) as mon:
+                sim.run(until=us(10))
+                raise RuntimeError("injected")
+        n = len(mon.series)
+        sim.run(until=us(50))
+        assert len(mon.series) == n
+
+    def test_engine_stop_monitors_disarms_all(self, sim):
+        topo, qps = loaded_dumbbell(sim)
+        a = QueueSampler(sim, topo.switches[0].ports[0], interval_ps=us(1))
+        b = QueueSampler(sim, topo.switches[1].ports[0], interval_ps=us(2))
+        sim.run(until=us(10))
+        sim.stop_monitors()
+        counts = (len(a.series), len(b.series))
+        sim.run(until=us(50))
+        assert (len(a.series), len(b.series)) == counts
+        sim.stop_monitors()  # idempotent
 
 
 class TestRateSampler:

@@ -37,10 +37,40 @@ class TestWindows:
         s = filled()
         assert s.mean_after(15) == pytest.approx((3 + 0.5) / 2)
 
+    def test_mean_after_boundary_is_inclusive(self):
+        s = filled()
+        # bisect_left: a sample exactly at the cut is included.
+        assert s.mean_after(20) == pytest.approx((3 + 0.5) / 2)
+        assert s.mean_after(31) == 0.0
+
     def test_max_after(self):
         s = filled()
         assert s.max_after(15) == 3.0
         assert s.max_after(100) == 0.0
+
+    def test_max_between(self):
+        s = filled()
+        assert s.max_between(5, 25) == 5.0
+        assert s.max_between(10, 10) == 5.0  # both ends inclusive
+        assert s.max_between(11, 19) == 0.0  # empty window
+        assert s.max_between(25, 5) == 0.0  # inverted window
+
+    def test_percentile(self):
+        s = filled()  # values 1.0, 5.0, 3.0, 0.5
+        assert s.percentile(0) == 0.5
+        assert s.percentile(100) == 5.0
+        assert s.percentile(50) == pytest.approx(2.0)  # median of the four
+        # Windowed: only 3.0 and 0.5 remain after t=15.
+        assert s.percentile(100, after_ps=15) == 3.0
+        assert s.percentile(50, after_ps=15) == pytest.approx(1.75)
+        assert s.percentile(99, after_ps=100) == 0.0  # empty window
+
+    def test_cached_view_tracks_appends(self):
+        s = filled()
+        assert s.max_after(0) == 5.0  # builds the cache
+        s.append(40, 9.0)
+        assert s.max_after(0) == 9.0  # append invalidated it
+        assert s.percentile(100) == 9.0
 
     def test_value_at_step_interpolation(self):
         s = filled()

@@ -87,6 +87,8 @@ from benchmarks.perf_harness import (  # noqa: E402
     BACKEND_SCENARIOS,
     DEFAULT_SCENARIOS,
     JOBS_SCENARIOS,
+    OBS_AB_SCENARIOS,
+    OBS_SCENARIOS,
     QUICK_SCENARIOS,
     SCENARIOS,
     measure_all,
@@ -332,6 +334,23 @@ def main(argv=None) -> int:
         "than trains-off beyond --threshold on any scenario (never "
         "writes the trajectory)",
     )
+    parser.add_argument(
+        "--ab-obs",
+        action="store_true",
+        help="measure the obs-capable scenarios with the telemetry bundle "
+        f"(registry + tracer) off AND on ({sorted(OBS_SCENARIOS)}; default "
+        f"set {list(OBS_AB_SCENARIOS)}), print the A/B, and exit 1 if "
+        "obs-on is slower beyond --threshold on any scenario (target is "
+        "<=2%; the gate reuses the wall threshold for CI-noise headroom; "
+        "never writes the trajectory)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="attach a live progress reporter (wall-clock heartbeats with "
+        "events/s and ETA on stderr) to the obs-capable scenarios "
+        f"({sorted(OBS_SCENARIOS)}); the entry records obs=true provenance",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
@@ -383,6 +402,37 @@ def main(argv=None) -> int:
             return 1
         return 0
 
+    if args.ab_obs:
+        names = args.scenario or list(OBS_AB_SCENARIOS)
+        bad = sorted(set(names) - OBS_SCENARIOS)
+        if bad:
+            parser.error(
+                f"--ab-obs: {bad} take no obs bundle (capable: "
+                f"{sorted(OBS_SCENARIOS)})"
+            )
+        repeats = 3 if args.quick else args.repeats
+        print(f"A/B obs off vs on: {names} (repeats={repeats}) ...", flush=True)
+        walls = {}
+        for mode, with_obs in (("off", False), ("on", True)):
+            walls[mode] = measure_all(
+                names, repeats=repeats, jobs=args.jobs, backend=args.backend,
+                obs=with_obs,
+            )
+        failures = 0
+        print(f"{'scenario':>18} {'off(s)':>9} {'on(s)':>9} {'on/off':>8}")
+        for name in names:
+            off = walls["off"][name].get("wall_min_s") or walls["off"][name]["wall_s"]
+            on = walls["on"][name].get("wall_min_s") or walls["on"][name]["wall_s"]
+            ratio = on / off
+            verdict = "FAIL" if ratio > 1 + args.threshold else "ok"
+            if verdict == "FAIL":
+                failures += 1
+            print(f"{name:>18} {off:9.3f} {on:9.3f} {ratio:8.2f} {verdict}")
+        if failures:
+            print(f"ab-obs: telemetry overhead exceeded the gate on {failures} scenario(s)")
+            return 1
+        return 0
+
     if args.quick:
         names = list(QUICK_SCENARIOS)
         # 3 repeats keep --check's medians/minima meaningful on noisy CI
@@ -425,8 +475,14 @@ def main(argv=None) -> int:
         + ") ...",
         flush=True,
     )
+    if args.progress and not any(n in OBS_SCENARIOS for n in names):
+        print(
+            f"note: --progress has no effect on {names} (only "
+            f"{sorted(OBS_SCENARIOS)} honour it)"
+        )
     metrics = measure_all(
-        names, repeats=repeats, jobs=effective_jobs, backend=args.backend
+        names, repeats=repeats, jobs=effective_jobs, backend=args.backend,
+        progress=args.progress,
     )
 
     trajectory = load_trajectory(args.out)
@@ -448,6 +504,10 @@ def main(argv=None) -> int:
         "backend": effective_backend,
         "scenarios": metrics,
     }
+    if args.progress and any(n in OBS_SCENARIOS for n in names):
+        # Provenance: these walls include the telemetry bundle (target
+        # overhead <=2%, gated separately by --ab-obs).
+        entry["obs"] = True
     if baseline:
         entry["speedup_vs_baseline"] = speedup(
             metrics, baseline.get("scenarios", {})

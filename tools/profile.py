@@ -51,7 +51,7 @@ for p in (REPO_ROOT / "src", REPO_ROOT):
 
 def main(argv=None) -> int:
     # Import late so --help works even on a broken checkout.
-    from benchmarks.perf_harness import JOBS_SCENARIOS, SCENARIOS
+    from benchmarks.perf_harness import JOBS_SCENARIOS, OBS_SCENARIOS, SCENARIOS
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -86,6 +86,13 @@ def main(argv=None) -> int:
         help="skip the untimed warmup run (profiles cold-start costs too)",
     )
     parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="attach a telemetry bundle (metrics registry + event tracer) "
+        "to obs-capable scenarios and print its registry snapshot and top "
+        "trace categories alongside the profile",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -107,6 +114,19 @@ def main(argv=None) -> int:
 
     fn = SCENARIOS[args.scenario]
     kwargs = {"jobs": args.jobs} if args.scenario in JOBS_SCENARIOS else {}
+    bundle = None
+    if args.obs:
+        if args.scenario not in OBS_SCENARIOS:
+            parser.error(
+                f"--obs: {args.scenario} takes no obs bundle (capable: "
+                f"{sorted(OBS_SCENARIOS)})"
+            )
+        from benchmarks.perf_harness import make_obs
+
+        # categories=None: every trace category, including the per-ack
+        # ``cc`` hook — a profile wants the full event picture, and its
+        # wall-clock is already distorted by cProfile anyway.
+        bundle = kwargs["obs"] = make_obs(args.scenario, categories=None)
     if not args.no_warmup:
         fn(**kwargs)  # imports, routing tables, allocator steady state
 
@@ -132,6 +152,15 @@ def main(argv=None) -> int:
     if args.out is not None:
         stats.dump_stats(args.out)
         print(f"raw pstats written to {args.out}")
+    if bundle is not None:
+        import json
+
+        print("== registry snapshot (profiled run) ==")
+        print(json.dumps(bundle.snapshot(), indent=2, sort_keys=True))
+        if bundle.tracer is not None:
+            print("== top trace categories ==")
+            for cat, n in bundle.tracer.top_categories():
+                print(f"  {cat:>8}: {n}")
     return 0
 
 
