@@ -11,7 +11,16 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.net.node import Node
-from repro.net.packet import ACK, CNP, DATA, PAUSE, RESUME, Packet, PacketPool
+from repro.net.packet import (
+    ACK,
+    CNP,
+    DATA,
+    PAUSE,
+    RESUME,
+    Packet,
+    PacketPool,
+    SanitizingPacketPool,
+)
 from repro.transport.receiver import ReceiverQP
 from repro.transport.sender import SenderQP, TransportConfig
 
@@ -42,7 +51,14 @@ class Host(Node):
         # Frame free list.  Off by default so bare hosts (unit fixtures,
         # spies that retain packets) keep immortal frames; the topology
         # layer enables it for experiment fabrics.  See PacketPool docs.
-        self.pkt_pool = PacketPool(enabled=pool_packets)
+        # Under Simulator(sanitize="pool") the use-after-release-detecting
+        # variant is substituted (DESIGN.md §9) — same API, poisoned frames.
+        pool_cls = (
+            SanitizingPacketPool
+            if "pool" in getattr(sim, "sanitize", ())
+            else PacketPool
+        )
+        self.pkt_pool = pool_cls(enabled=pool_packets)
         self.senders: Dict[int, SenderQP] = {}
         self.receivers: Dict[int, ReceiverQP] = {}
         self._active_inbound = 0

@@ -329,6 +329,7 @@ class EventTracer:
         had = "receive" in sw.__dict__
         gated = hasattr(sw, "_train_ok")
         if gated:
+            # fncc-lint: allow[O402] tap_switch IS a PacketTap-protocol hook: gate cleared here, _recompute_train_ok() on detach below
             sw._train_ok = False
         sim = sw.sim
         emit = self.emit

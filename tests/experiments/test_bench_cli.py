@@ -3,6 +3,7 @@ smoke set's coverage of the pause regime."""
 
 import importlib.util
 import json
+import os
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -14,7 +15,7 @@ bench = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(bench)
 
 
-def entry(label, jobs=None, **walls):
+def entry(label, jobs=None, sanitize=None, **walls):
     e = {
         "label": label,
         "git_rev": "deadbee",
@@ -22,6 +23,8 @@ def entry(label, jobs=None, **walls):
     }
     if jobs is not None:
         e["jobs"] = jobs
+    if sanitize is not None:
+        e["sanitize"] = sanitize
     return e
 
 
@@ -147,6 +150,115 @@ class TestJobsProvenance:
         (entry,) = json.loads(out.read_text())
         assert entry["jobs"] == 1
         assert entry["cpu_count"] >= 1
+
+
+class TestSanitizeProvenance:
+    """--check partitions by sanitize mode exactly like jobs/trains/backend:
+    a sanitized wall time is debug instrumentation, not a regression."""
+
+    def test_mismatched_sanitize_not_compared(self, capsys):
+        t = [
+            entry("plain", pause_storm=0.2),
+            entry("sanitized", sanitize="pool,tie", pause_storm=0.3),
+        ]
+        assert bench.check_regression(t) == 0
+        out = capsys.readouterr().out
+        assert "no previous entry measured with" in out and "sanitize=pool,tie" in out
+
+    def test_matching_sanitize_found_across_mixed_history(self, capsys):
+        # newest sanitize=off must skip the sanitized entry and gate
+        # against the older unsanitized one — a genuine regression here.
+        t = [
+            entry("old", pause_storm=0.2),
+            entry("debug", sanitize="pool,tie", pause_storm=0.5),
+            entry("new", sanitize="off", pause_storm=0.4),
+        ]
+        assert bench.check_regression(t) == 1
+        out = capsys.readouterr().out
+        assert "old" in out and "FAIL" in out
+
+    def test_sanitized_pair_gates_normally(self):
+        t = [
+            entry("debug-a", sanitize="pool,tie", pause_storm=0.3),
+            entry("debug-b", sanitize="pool,tie", pause_storm=0.31),
+        ]
+        assert bench.check_regression(t) == 0
+
+    def test_missing_sanitize_key_means_off(self):
+        assert bench.entry_sanitize(entry("legacy", fig9_micro=0.2)) == "off"
+        t = [
+            entry("legacy", fig9_micro=0.2),
+            entry("new", sanitize="off", fig9_micro=0.21),
+        ]
+        assert bench.check_regression(t) == 0
+
+    def test_sanitize_spec_normalized_for_comparison(self):
+        # "tie,pool" and "pool, tie" are the same provenance partition.
+        assert bench.norm_sanitize("tie,pool") == "pool,tie"
+        assert bench.norm_sanitize(" pool , tie ") == "pool,tie"
+        assert bench.norm_sanitize("off") == "off"
+        assert bench.norm_sanitize("") == "off"
+        assert bench.entry_sanitize(entry("x", sanitize="tie,pool", a=1.0)) == "pool,tie"
+
+    def test_bad_sanitize_rejected_at_cli(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            bench.main(["--sanitize", "typo", "--no-write"])
+
+    def test_entry_records_sanitize_provenance(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        out = tmp_path / "traj.json"
+        assert (
+            bench.main(
+                ["--scenario", "fig9_micro", "--repeats", "1",
+                 "--sanitize", "tie,pool", "--out", str(out)]
+            )
+            == 0
+        )
+        (e,) = json.loads(out.read_text())
+        assert e["sanitize"] == "pool,tie"
+
+    def test_sanitize_env_not_leaked_past_main(self, monkeypatch):
+        # main() exports REPRO_SANITIZE so spawned workers inherit the
+        # mode, but must restore the caller's env on exit — a leaked
+        # "pool" mode would make every later Simulator in this process
+        # poison released packets (caught live: a tap test reading its
+        # captured frames post-run started raising UseAfterReleaseError).
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert (
+            bench.main(
+                ["--scenario", "fig9_micro", "--repeats", "1",
+                 "--sanitize", "tie,pool", "--no-write"]
+            )
+            == 0
+        )
+        assert "REPRO_SANITIZE" not in os.environ
+
+    def test_sanitize_defaults_from_environment(self, tmp_path, monkeypatch):
+        # REPRO_SANITIZE is the spawn-worker propagation channel (like
+        # REPRO_TRAINS); the flag default reads it so an env-configured CI
+        # job records honest provenance without repeating itself.
+        monkeypatch.setenv("REPRO_SANITIZE", "tie")
+        out = tmp_path / "traj.json"
+        assert (
+            bench.main(
+                ["--scenario", "fig9_micro", "--repeats", "1", "--out", str(out)]
+            )
+            == 0
+        )
+        (e,) = json.loads(out.read_text())
+        assert e["sanitize"] == "tie"
+        monkeypatch.delenv("REPRO_SANITIZE")
+        out2 = tmp_path / "traj2.json"
+        assert (
+            bench.main(
+                ["--scenario", "fig9_micro", "--repeats", "1", "--out", str(out2)]
+            )
+            == 0
+        )
+        (e2,) = json.loads(out2.read_text())
+        assert e2["sanitize"] == "off"
 
 
 class TestQuickSmokeSet:

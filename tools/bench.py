@@ -49,10 +49,22 @@ trains-off beyond ``--threshold`` on any scenario — the CI gate that keeps
 the fast path from ever costing wall-clock.  (Semantic equivalence of the
 two modes is pinned separately by tests/property/test_trains.py.)
 
+``--sanitize tie,pool`` runs every scenario under the named runtime
+sanitizers (``REPRO_SANITIZE``; DESIGN.md §9 — debug-only, observation-
+only).  Entries record a ``sanitize`` provenance field (``"off"`` when
+none) and ``--check``/speedup baselines only compare matching sanitize
+modes, exactly like ``jobs``/``trains``/``backend`` — a sanitized wall
+time is never a regression signal against an unsanitized one.
+``--ab-sanitize`` measures the selected scenarios with sanitizers off AND
+``tie,pool`` in one process and fails (exit 1) when the sanitized run is
+slower beyond ``--threshold`` (CI gates at the default 15%) — the ceiling
+that keeps the sanitizers cheap enough to actually get used.
+
 Entry schema (one JSON object per run)::
 
     timestamp, git_rev, python, label    provenance
     repeats, jobs, cpu_count, trains     measurement parameters
+    sanitize                             runtime sanitizers ("off" or modes)
     scenarios: {name: {
         wall_s,            # MEDIAN wall seconds over repeats
         wall_min_s,        # MIN over repeats — the metric --check gates
@@ -120,21 +132,27 @@ def load_trajectory(path: Path) -> list:
 
 
 def find_baseline(
-    trajectory: list, jobs: int = 1, trains: str = "on", backend: str = "default"
+    trajectory: list,
+    jobs: int = 1,
+    trains: str = "on",
+    backend: str = "default",
+    sanitize: str = "off",
 ) -> dict:
     """The speedup reference: the entry tagged ``"label": "baseline"``, else
     the oldest entry — considering only entries measured with the same
-    ``jobs`` value, ``trains`` mode and ``backend``.  Comparing wall times
-    across worker counts would report parallelism as hot-path speedup,
-    across train modes would report the fast path as history, and across
-    backends would report the fluid tier as a packet-engine win (the same
-    rules ``--check`` enforces)."""
+    ``jobs`` value, ``trains`` mode, ``backend`` and ``sanitize`` modes.
+    Comparing wall times across worker counts would report parallelism as
+    hot-path speedup, across train modes would report the fast path as
+    history, across backends would report the fluid tier as a packet-engine
+    win, and across sanitize modes would report debug instrumentation as a
+    regression (the same rules ``--check`` enforces)."""
     candidates = [
         e
         for e in trajectory
         if entry_jobs(e) == jobs
         and entry_trains(e) == trains
         and entry_backend(e) == backend
+        and entry_sanitize(e) == sanitize
     ]
     for entry in candidates:
         if entry.get("label") == "baseline":
@@ -165,6 +183,23 @@ def entry_backend(entry: dict) -> str:
     the ≥10x co-simulation ratio is read off *explicitly labelled*
     back-to-back entries instead."""
     return str(entry.get("backend", "default"))
+
+
+def entry_sanitize(entry: dict) -> str:
+    """The runtime-sanitizer modes an entry was measured under, normalized
+    to ``"off"`` or a sorted comma-join (``"pool,tie"``).  Entries predating
+    the sanitizers ran without them."""
+    return norm_sanitize(entry.get("sanitize", "off"))
+
+
+def norm_sanitize(spec: str) -> str:
+    """Canonical form of a sanitize spec: ``"off"`` for none, else the
+    sorted comma-join — so ``"tie,pool"`` and ``"pool, tie"`` compare equal
+    in provenance partitioning."""
+    from repro.sim.sanitize import parse_sanitize
+
+    modes = parse_sanitize(spec if spec != "off" else "")
+    return ",".join(sorted(modes)) if modes else "off"
 
 
 def check_regression(trajectory: list, threshold: float = 0.15) -> int:
@@ -201,6 +236,7 @@ def check_regression(trajectory: list, threshold: float = 0.15) -> int:
     jobs = entry_jobs(newest)
     trains = entry_trains(newest)
     backend = entry_backend(newest)
+    sanitize = entry_sanitize(newest)
     prev = None
     prev_pos = -1
     for pos in range(len(trajectory) - 2, -1, -1):
@@ -209,6 +245,7 @@ def check_regression(trajectory: list, threshold: float = 0.15) -> int:
             entry_jobs(cand) == jobs
             and entry_trains(cand) == trains
             and entry_backend(cand) == backend
+            and entry_sanitize(cand) == sanitize
         ):
             prev = cand
             prev_pos = pos
@@ -216,7 +253,7 @@ def check_regression(trajectory: list, threshold: float = 0.15) -> int:
     if prev is None:
         print(
             f"check: no previous entry measured with jobs={jobs} "
-            f"trains={trains} backend={backend} "
+            f"trains={trains} backend={backend} sanitize={sanitize} "
             f"(newest: {newest.get('label') or newest.get('git_rev')}) — "
             "nothing comparable to gate against yet"
         )
@@ -236,7 +273,7 @@ def check_regression(trajectory: list, threshold: float = 0.15) -> int:
         f"check: entry #{len(trajectory)} ({newest.get('label') or newest.get('git_rev')}) "
         f"vs #{prev_pos + 1} ({prev.get('label') or prev.get('git_rev')}), "
         f"jobs={jobs}, trains={trains}, backend={backend}, "
-        f"threshold +{threshold:.0%} on wall_min_s"
+        f"sanitize={sanitize}, threshold +{threshold:.0%} on wall_min_s"
     )
     for name in shared:
         # Gate on the min over repeats, not the median: robust to noisy-
@@ -262,6 +299,21 @@ def check_regression(trajectory: list, threshold: float = 0.15) -> int:
 
 
 def main(argv=None) -> int:
+    # REPRO_SANITIZE is mutated during measurement (it is how spawned
+    # sweep workers inherit the sanitize mode) but must not leak past the
+    # call: a later in-process consumer — e.g. the rest of a pytest
+    # session — would silently construct sanitized Simulators.
+    prev = os.environ.get("REPRO_SANITIZE")
+    try:
+        return _main(argv)
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_SANITIZE", None)
+        else:
+            os.environ["REPRO_SANITIZE"] = prev
+
+
+def _main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--quick",
@@ -335,6 +387,21 @@ def main(argv=None) -> int:
         "writes the trajectory)",
     )
     parser.add_argument(
+        "--sanitize",
+        default=os.environ.get("REPRO_SANITIZE", "off") or "off",
+        help="runtime sanitizers for every measured scenario "
+        "('off', 'tie', 'pool', or 'tie,pool'; default from REPRO_SANITIZE); "
+        "recorded in the entry so --check only compares matching modes",
+    )
+    parser.add_argument(
+        "--ab-sanitize",
+        action="store_true",
+        help="measure the selected scenarios with sanitizers off AND "
+        "tie,pool in one process, print the A/B, and exit 1 if the "
+        "sanitized run is slower beyond --threshold (CI gates the debug-"
+        "only overhead at the default 15%%; never writes the trajectory)",
+    )
+    parser.add_argument(
         "--ab-obs",
         action="store_true",
         help="measure the obs-capable scenarios with the telemetry bundle "
@@ -374,6 +441,21 @@ def main(argv=None) -> int:
 
     _set_trains(args.trains)
 
+    def _set_sanitize(spec: str) -> None:
+        # Env var only: the engine reads REPRO_SANITIZE at *construction*
+        # time (not import), and spawn-started sweep workers inherit the
+        # environment.
+        if spec == "off":
+            os.environ.pop("REPRO_SANITIZE", None)
+        else:
+            os.environ["REPRO_SANITIZE"] = spec
+
+    try:
+        sanitize = norm_sanitize(args.sanitize)
+    except ValueError as exc:
+        parser.error(str(exc))
+    _set_sanitize(sanitize)
+
     if args.check:
         return check_regression(load_trajectory(args.out), args.threshold)
 
@@ -399,6 +481,68 @@ def main(argv=None) -> int:
             print(f"{name:>18} {off:9.3f} {on:9.3f} {ratio:8.2f} {verdict}")
         if failures:
             print(f"ab-trains: trains-on regressed on {failures} scenario(s)")
+            return 1
+        return 0
+
+    if args.ab_sanitize:
+        names = list(QUICK_SCENARIOS) if args.quick else (
+            args.scenario or list(SCENARIOS)
+        )
+        # More rounds than the other A/B gates: each round is ~1 s on the
+        # quick set, and the min-vs-min comparison needs enough samples
+        # that both modes land in a quiet window on a noisy runner.
+        repeats = 7 if args.quick else args.repeats
+        print(
+            f"A/B sanitize off vs tie,pool: {names} (repeats={repeats}, "
+            "interleaved) ...",
+            flush=True,
+        )
+        # Machine-level drift on shared/CI runners (clock scaling, noisy
+        # neighbours) swings wall times by >10% between windows — more
+        # than the overhead being gated.  Two defences: (a) a discarded
+        # warmup pass so neither mode pays cold-start costs, (b) paired
+        # per-round ratios — off and on measured back to back so drift
+        # hits both sides of each ratio — gated on the *minimum* round
+        # ratio: a lower bound on the true overhead.  The semantics are
+        # deliberately one-sided for a noisy runner: the gate fails only
+        # when every round, including the quietest, shows >threshold
+        # overhead — i.e. the overhead is provably too high.  A real
+        # regression of the class this guards against (poisoning or tie
+        # tracking accidentally going unconditional, ~2x a cycle) clears
+        # the bar in every round; ambient ±10% container noise cannot
+        # produce a false FAIL the way a median or mean estimator does.
+        walls = {"off": {}, "pool,tie": {}}
+        ratios = {}
+        for rnd in range(repeats + 1):
+            round_walls = {}
+            for mode in ("off", "pool,tie"):
+                _set_sanitize(mode)
+                for name, m in measure_all(names, repeats=1, jobs=args.jobs).items():
+                    w = m.get("wall_min_s") or m["wall_s"]
+                    round_walls.setdefault(name, {})[mode] = w
+            if rnd == 0:
+                continue  # warmup pass: both modes run, nothing recorded
+            for name, pair in round_walls.items():
+                ratios.setdefault(name, []).append(pair["pool,tie"] / pair["off"])
+                for mode, w in pair.items():
+                    cur_w = walls[mode].get(name)
+                    walls[mode][name] = w if cur_w is None else min(cur_w, w)
+        _set_sanitize(sanitize)
+        failures = 0
+        print(f"{'scenario':>18} {'off(s)':>9} {'on(s)':>9} {'on/off':>8}")
+        for name in names:
+            off = walls["off"][name]
+            on = walls["pool,tie"][name]
+            ratio = min(ratios[name])
+            verdict = "FAIL" if ratio > 1 + args.threshold else "ok"
+            if verdict == "FAIL":
+                failures += 1
+            print(f"{name:>18} {off:9.3f} {on:9.3f} {ratio:8.2f} {verdict}")
+        if failures:
+            print(
+                f"ab-sanitize: sanitizer overhead exceeded the gate on "
+                f"{failures} scenario(s)"
+            )
             return 1
         return 0
 
@@ -472,6 +616,7 @@ def main(argv=None) -> int:
     print(
         f"measuring {names} (repeats={repeats}, jobs={effective_jobs}"
         + (f", backend={effective_backend}" if effective_backend != "default" else "")
+        + (f", sanitize={sanitize}" if sanitize != "off" else "")
         + ") ...",
         flush=True,
     )
@@ -491,6 +636,7 @@ def main(argv=None) -> int:
         jobs=effective_jobs,
         trains=args.trains,
         backend=effective_backend,
+        sanitize=sanitize,
     )
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -502,6 +648,7 @@ def main(argv=None) -> int:
         "cpu_count": os.cpu_count(),
         "trains": args.trains,
         "backend": effective_backend,
+        "sanitize": sanitize,
         "scenarios": metrics,
     }
     if args.progress and any(n in OBS_SCENARIOS for n in names):

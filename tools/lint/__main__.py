@@ -1,0 +1,6 @@
+"""``python -m tools.lint`` — same as the ``fncc-lint`` console script."""
+
+from tools.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

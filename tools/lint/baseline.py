@@ -1,0 +1,83 @@
+"""fncc-lint baseline: pre-existing findings fail CI only when they grow.
+
+The baseline maps a *content-anchored* key — ``rule|path|normalized source
+line`` — to an occurrence count.  Anchoring to line content instead of line
+numbers keeps the baseline stable across unrelated edits to the same file;
+two identical offending lines in one file share a key via the count.
+
+Semantics against the current findings:
+
+* a key absent from the baseline → **new** finding, fails.
+* a key whose current count exceeds its baselined count → **grew**, fails.
+* a baselined key with fewer/zero current findings → fixed debt; reported
+  so ``--update-baseline`` can shrink the file (the ratchet only tightens).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Tuple
+
+from tools.lint.core import Finding
+
+_WS = re.compile(r"\s+")
+
+
+def finding_key(f: Finding, line_text: str) -> str:
+    return f"{f.rule}|{f.path}|{_WS.sub(' ', line_text.strip())}"
+
+
+def count_findings(findings: List[Finding], sources: Dict[str, List[str]]) -> Dict[str, int]:
+    """Aggregate findings into baseline-key counts.  ``sources`` maps
+    relpath -> source lines (for the content anchor)."""
+    counts: Dict[str, int] = {}
+    for f in findings:
+        lines = sources.get(f.path, ())
+        text = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
+        key = finding_key(f, text)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        return {}
+    if not isinstance(data, dict) or not isinstance(data.get("findings"), dict):
+        raise ValueError(f"{path}: not a fncc-lint baseline file")
+    return {str(k): int(v) for k, v in data["findings"].items()}
+
+
+def save_baseline(path: str, counts: Dict[str, int]) -> None:
+    body = {
+        "comment": (
+            "fncc-lint baseline: existing findings, keyed by "
+            "rule|path|normalized-line. CI fails only when a count grows or "
+            "a new key appears. Regenerate with fncc-lint --update-baseline."
+        ),
+        "findings": {k: counts[k] for k in sorted(counts)},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(body, fh, indent=2)
+        fh.write("\n")
+
+
+def compare(
+    current: Dict[str, int], baseline: Dict[str, int]
+) -> Tuple[List[str], List[str]]:
+    """Return ``(regressions, fixed)`` — baseline keys that grew/appeared,
+    and baseline keys now at a lower count (shrinkable debt)."""
+    regressions = []
+    for key, n in sorted(current.items()):
+        base = baseline.get(key, 0)
+        if n > base:
+            regressions.append(f"{key}  ({n} > baseline {base})")
+    fixed = [
+        f"{key}  ({baseline[key]} -> {current.get(key, 0)})"
+        for key in sorted(baseline)
+        if current.get(key, 0) < baseline[key]
+    ]
+    return regressions, fixed

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Generate the event-tie ordering-hazard report (DESIGN.md §4/§9).
+
+Runs the named harness scenarios under the event-tie sanitizer
+(``REPRO_SANITIZE=tie``) and writes one merged tie report per scenario to
+``benchmarks/TIE_REPORT.json`` — the artifact the topology-partitioned
+sharded engine (ROADMAP) consumes as its ordering-hazard map.  Each site
+pair names the callback popped and the same-timestamp callback left
+pending, as ``module:qualname``; a pair that appears here is a dispatch
+order the engine currently resolves by insertion sequence alone, i.e. an
+order a sharded engine must either prove commutative or synchronize.
+
+The default scenario set covers the three traffic regimes: the paper's
+websearch FCT workload (``fig14_websearch``), the PFC pause/resume storm
+(``pause_storm``), and a load-balancer matrix slice (``lbmatrix``).
+
+Usage::
+
+    python tools/tie_report.py                     # default set -> benchmarks/
+    python tools/tie_report.py --scenario pause_storm --out /tmp/ties.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for p in (REPO_ROOT / "src", REPO_ROOT):
+    if str(p) not in sys.path:
+        sys.path.insert(0, str(p))
+
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "TIE_REPORT.json"
+DEFAULT_SCENARIOS = ("fig14_websearch", "pause_storm", "lbmatrix")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        help=f"harness scenario (repeatable; default {list(DEFAULT_SCENARIOS)})",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        help="keep only the N most frequent site pairs per scenario "
+        "(0 = all; the count of dropped pairs is recorded either way)",
+    )
+    args = parser.parse_args(argv)
+
+    # Construction-time default: every Simulator the scenarios build picks
+    # this up (and spawn-started sweep workers would inherit it).
+    os.environ["REPRO_SANITIZE"] = "tie"
+
+    from benchmarks.perf_harness import SCENARIOS
+    from repro.sim.sanitize import TIE_REPORT_SCHEMA, merge_tie_reports
+
+    names = args.scenario or list(DEFAULT_SCENARIOS)
+    unknown = sorted(set(names) - set(SCENARIOS))
+    if unknown:
+        parser.error(f"unknown scenario(s) {unknown}; known: {sorted(SCENARIOS)}")
+
+    out = {"schema": TIE_REPORT_SCHEMA, "scenarios": {}}
+    for name in names:
+        print(f"tie-scan {name} ...", flush=True)
+        sims, _topos = SCENARIOS[name]()
+        report = merge_tie_reports(s.tie_report() for s in sims)
+        if args.top and len(report["sites"]) > args.top:
+            report["sites_dropped"] = len(report["sites"]) - args.top
+            report["sites"] = report["sites"][: args.top]
+        out["scenarios"][name] = report
+        tied = report["tied_pops"]
+        total = report["total_pops"]
+        print(
+            f"  {tied}/{total} pops tied "
+            f"({tied / total:.2%}) across {report['site_pairs']} site pair(s)"
+        )
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(out, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
