@@ -116,6 +116,36 @@ def launch_flows(topo: Topology, flows: Sequence[Flow], env: CcEnv) -> Dict[int,
     return qps
 
 
+def portstats_fingerprint(topo: Topology) -> tuple:
+    """Every port counter of every node as one sorted, hashable tuple —
+    the PortStats half of the zero-perturbation witness (DESIGN.md §10):
+    two runs are byte-identical at the wire iff their FCT fingerprints
+    *and* these counters match."""
+    rows = []
+    for node in list(getattr(topo, "hosts", ())) + list(getattr(topo, "switches", ())):
+        for port in node.ports:
+            s = port.stats
+            rows.append(
+                (
+                    node.name,
+                    port.index,
+                    s.tx_packets,
+                    s.tx_bytes,
+                    s.rx_packets,
+                    s.rx_bytes,
+                    s.drops,
+                    s.ecn_marked,
+                    s.pause_sent,
+                    s.pause_received,
+                    s.resume_sent,
+                    s.resume_received,
+                    s.max_qlen,
+                    port.train_frames,
+                )
+            )
+    return tuple(sorted(rows))
+
+
 class MicrobenchResult:
     """Output of :func:`run_microbench`: the series the paper plots."""
 

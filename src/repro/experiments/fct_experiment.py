@@ -291,6 +291,7 @@ def run_fct_experiment(
     workload: str = "websearch",
     max_horizon_ms: float = 50.0,
     obs=None,
+    faults=None,
     **kwargs,
 ) -> FctResult:
     """Run one (CC, workload) cell of Figs. 14/15.
@@ -300,10 +301,23 @@ def run_fct_experiment(
     ``obs`` attaches a :class:`repro.obs.RunObservability` bundle to the
     cell (registry snapshot, trace hooks, flight guard, progress) —
     registry/tracer observability is byte-identical and train-safe
-    (``tests/obs`` pins it).  See :func:`build_fct_fabric` for the
-    remaining knobs.
+    (``tests/obs`` pins it).  ``faults`` arms a
+    :class:`repro.faults.FaultPlan` against the freshly built fabric
+    before any flow launches; None (and the no-op plan) is provably
+    zero-perturbation (``tools/bench.py --ab-faults``).  See
+    :func:`build_fct_fabric` for the remaining knobs.
     """
     fab = build_fct_fabric(cc, workload=workload, **kwargs)
+    if faults is not None:
+        from repro.faults import FaultInjector
+
+        FaultInjector(faults).arm(
+            fab.sim,
+            fab.topo,
+            seeds=fab.topo.seeds,
+            registry=getattr(obs, "registry", None),
+            tracer=getattr(obs, "tracer", None),
+        )
     if obs is None:
         launch_flows(fab.topo, fab.flows, fab.env)
         drive_fct(fab.sim, fab.collector, len(fab.flows), max_horizon_ms)

@@ -25,6 +25,7 @@ def _experiments() -> Dict[str, Callable[..., None]]:
         fig13_fairness,
         fig14_websearch,
         fig15_hadoop,
+        faultmatrix,
         headline,
         lbmatrix,
         paper_scale,
@@ -43,6 +44,7 @@ def _experiments() -> Dict[str, Callable[..., None]]:
         "fig15": fig15_hadoop.main,
         "headline": headline.main,
         "lbmatrix": lbmatrix.main,
+        "faultmatrix": faultmatrix.main,
         "ablations": ablations.main,
         "theory": theory.main,
         "related-work": related_work.main,

@@ -1,0 +1,17 @@
+"""Deterministic fault injection and graceful degradation (DESIGN.md §10).
+
+* :class:`FaultPlan` — picklable, validated fault schedules (plan.py)
+* :class:`FaultInjector` — arms a plan as ordinary engine events (inject.py)
+* :class:`FaultAuditor` — buffer-checker-style invariant audits (audit.py)
+
+Zero-perturbation contract: ``faults=None`` and an armed
+``FaultPlan.noop()`` produce byte-identical runs; everything stochastic
+derives from the topology seed factory's ``faults.<plan name>`` stream
+(enforced by fncc-lint rule D104).
+"""
+
+from repro.faults.audit import FaultAuditor
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultAuditor", "FaultInjector", "FaultPlan"]

@@ -1,0 +1,123 @@
+"""Buffer-checker-style invariant auditor (DESIGN.md §10).
+
+Modelled on SONiC's ``buffer-checker`` (see
+``/root/related/stephenxs__SONiC/doc/``): a read-only pass over live
+switch/port state that reports accounting violations instead of letting
+them silently skew a run.  Two tiers:
+
+* **always-true** invariants — shared-buffer and PFC byte accounting can
+  never go negative, and on a PFC-enabled switch the per-(in-port, prio)
+  PFC bytes can never exceed the shared-buffer occupancy they are a
+  breakdown of;
+* **quiescence** invariants (``quiescent=True``, meaningful once the
+  event heap has drained) — no buffered bytes left anywhere, no stranded
+  frame-train commit windows (``Port._uncommitted``), no queue still
+  paused, and every PAUSE a port emitted matched by a RESUME (the
+  pause/resume ledger balances).
+
+Nodes the active fault plan has fail-stopped are exempt from the
+quiescence tier: a dead switch legitimately strands whatever it held.
+The auditor is pure observation — it never mutates simulator state — so
+registering it as a metrics pull collector or running it from the flight
+recorder cannot perturb a run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["FaultAuditor"]
+
+
+class FaultAuditor:
+    """Read-only invariant checks over one topology.
+
+    ``audit()`` returns a list of human-readable violation strings (empty
+    when healthy); it is cheap enough to run from a metrics snapshot.
+    """
+
+    def __init__(self, topo, faults=None) -> None:
+        self.topo = topo
+        self.faults = faults
+
+    # ------------------------------------------------------------------
+
+    def _exempt(self, node_name: str) -> bool:
+        f = self.faults
+        return f is not None and node_name in getattr(f, "_failed_switches", ())
+
+    def audit(self, quiescent: bool = False) -> List[str]:
+        v: List[str] = []
+        for sw in getattr(self.topo, "switches", ()):
+            self._audit_switch(sw, quiescent, v)
+        for host in getattr(self.topo, "hosts", ()):
+            self._audit_ports(host, quiescent, v)
+        return v
+
+    def _audit_switch(self, sw, quiescent: bool, v: List[str]) -> None:
+        used = sw.buffer_used
+        if used < 0:
+            v.append(f"{sw.name}: negative shared-buffer occupancy ({used})")
+        pfc_total = 0
+        for in_p, counters in enumerate(sw._pfc_bytes):
+            for prio, n in enumerate(counters):
+                if n < 0:
+                    v.append(
+                        f"{sw.name}: negative PFC bytes in_port={in_p} "
+                        f"prio={prio} ({n})"
+                    )
+                else:
+                    pfc_total += n
+        if sw._pfc_on and pfc_total > used >= 0:
+            v.append(
+                f"{sw.name}: PFC accounting ({pfc_total}B) exceeds shared "
+                f"buffer occupancy ({used}B)"
+            )
+        self._audit_ports(sw, quiescent, v)
+        if quiescent and not self._exempt(sw.name) and used != 0:
+            v.append(f"{sw.name}: {used}B stranded in shared buffer at quiescence")
+
+    def _audit_ports(self, node, quiescent: bool, v: List[str]) -> None:
+        exempt = self._exempt(node.name)
+        for port in node.ports:
+            q = port.qbytes_total
+            if q < 0:
+                v.append(f"{node.name}[{port.index}]: negative queue bytes ({q})")
+            s = port.stats
+            if s.pause_sent < s.resume_sent:
+                v.append(
+                    f"{node.name}[{port.index}]: resume_sent ({s.resume_sent}) "
+                    f"exceeds pause_sent ({s.pause_sent})"
+                )
+            if not quiescent or exempt:
+                continue
+            if q != 0:
+                v.append(
+                    f"{node.name}[{port.index}]: {q}B queued at quiescence"
+                )
+            if port._uncommitted != 0:
+                v.append(
+                    f"{node.name}[{port.index}]: {port._uncommitted} frames in "
+                    "a stranded commit window at quiescence"
+                )
+            if any(port.paused):
+                prios = [i for i, p in enumerate(port.paused) if p]
+                v.append(
+                    f"{node.name}[{port.index}]: still paused at quiescence "
+                    f"(prios {prios})"
+                )
+            if s.pause_sent != s.resume_sent:
+                v.append(
+                    f"{node.name}[{port.index}]: pause/resume ledger imbalance "
+                    f"at quiescence ({s.pause_sent} pauses, {s.resume_sent} resumes)"
+                )
+
+    # -- pull-collector contract ----------------------------------------
+
+    def collect(self):
+        """``MetricsRegistry`` pull collector: violation count as a counter
+        (monotone enough for snapshot diffing — healthy runs stay at 0)."""
+        return {"faults.audit_violations": len(self.audit())}, {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultAuditor over {getattr(self.topo, 'name', self.topo)!r}>"

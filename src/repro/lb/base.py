@@ -99,6 +99,13 @@ class LoadBalancer:
         self.max_cache_entries = max_cache_entries
         self.switch: Optional["Switch"] = None
         self.seeds = None
+        # Failover state (DESIGN.md §10): the live split dict the router
+        # closure captured (entries are rewritten in place on failover),
+        # the pristine all-links-up copy it is recomputed from, and the
+        # switch ports currently known dead.
+        self._split: Optional[Dict[int, object]] = None
+        self._pristine: Optional[Dict[int, object]] = None
+        self._dead_ports: set = set()
 
     def bind(self, sw: "Switch", tables: Dict[int, List[int]], seeds=None) -> Router:
         """Attach to one switch: record the binding, build the closure.
@@ -106,10 +113,65 @@ class LoadBalancer:
         strategies that draw named RNG streams."""
         self.switch = sw
         self.seeds = seeds
-        return self.make_router(sw, split_tables(tables))
+        split = split_tables(tables)
+        self._split = split
+        self._pristine = dict(split)
+        self._dead_ports = set()
+        return self.make_router(sw, split)
 
     def make_router(self, sw: "Switch", split: Dict[int, object]) -> Router:
         raise NotImplementedError
+
+    # -- failover (repro.faults link transitions) ------------------------
+    def on_link_down(self, port_idx: int) -> None:
+        """A link on ``port_idx`` died: reroute every destination around
+        it.  Destinations whose *only* path used the dead port keep their
+        pristine entry (a deliberate blackhole — transport-level recovery,
+        not routing, resolves a partition)."""
+        if port_idx in self._dead_ports:
+            return
+        self._dead_ports.add(port_idx)
+        self._remask()
+        self.invalidate()
+
+    def on_link_up(self, port_idx: int) -> None:
+        """The link came back: fold the port into every ECMP group again."""
+        if port_idx not in self._dead_ports:
+            return
+        self._dead_ports.discard(port_idx)
+        self._remask()
+        self.invalidate()
+
+    def _remask(self) -> None:
+        """Rewrite the live split dict in place from the pristine tables
+        minus the dead ports.  In-place mutation is the point: every
+        router closure captured ``self._split`` by reference, so the next
+        packet routes around the failure with no re-install."""
+        split, pristine, dead = self._split, self._pristine, self._dead_ports
+        if split is None:
+            return
+        for dst, entry in pristine.items():
+            if type(entry) is int:
+                split[dst] = entry  # single path: dead or not, it is all we have
+                continue
+            ports, _n = entry
+            live = [p for p in ports if p not in dead]
+            if not live:
+                split[dst] = entry  # all paths dead: keep pristine (blackhole)
+            elif len(live) == 1:
+                split[dst] = live[0]
+            else:
+                split[dst] = (tuple(live), len(live))
+
+    def invalidate(self) -> None:
+        """Drop advisory per-flow memos after a failover so stale path
+        choices cannot outlive the topology change.  The base clears the
+        shared flow-hash memo; strategies with their own tables extend
+        this.  (Frame-train route memos on ports are cleared by the
+        injector, mirroring install_lb.)"""
+        cache = getattr(self, "hash_cache", None)
+        if cache is not None:
+            cache.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         at = self.switch.name if self.switch is not None else "unbound"

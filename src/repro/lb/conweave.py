@@ -105,6 +105,13 @@ class ConWeaveLiteLB(LoadBalancer):
             self.flows, self.max_cache_entries, lambda v: now - v[_SEEN] > idle
         )
 
+    def invalidate(self) -> None:
+        """Failover: forget per-flow epoch/port state; each flow restarts
+        at epoch 0 on a port drawn from the post-failover group (receivers
+        treat epochs as advisory, so this is ordinary reordering)."""
+        self.flows.clear()
+        super().invalidate()
+
     def make_router(self, sw: "Switch", split: Dict[int, object]) -> Router:
         salt = self.salt
         cap = self.max_cache_entries

@@ -88,6 +88,13 @@ class FlowletLB(LoadBalancer):
             self.flowlets, self.max_cache_entries, lambda v: now - v[0] > gap
         )
 
+    def invalidate(self) -> None:
+        """Failover: drop every live flowlet so the next packet of each
+        flow picks a port from the post-failover ECMP group (an evicted
+        flowlet just restarts — advisory state)."""
+        self.flowlets.clear()
+        super().invalidate()
+
     def make_router(self, sw: "Switch", split: Dict[int, object]) -> Router:
         gap = self.gap_ps
         salt = self.salt

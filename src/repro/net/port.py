@@ -237,6 +237,7 @@ class Port:
         "_own_sw",
         "_peer_sw",
         "_rt_cache",
+        "wd_drop",
     )
 
     def __init__(
@@ -300,6 +301,14 @@ class Port:
         # new strategy is installed, and it is bounded (cleared on
         # overflow — every entry is recomputable from the packet alone).
         self._rt_cache: dict = {}
+        # PFC-watchdog storm action (net/switch.py PfcWatchdog): when a
+        # stuck-XOFF storm is isolated on this egress port, the watchdog
+        # installs a ``wd_drop(pkt) -> bool`` handler here; enqueue hands
+        # every data frame to it first and drops on True.  None (one load
+        # + branch) on healthy ports.  Control frames are exempt — the
+        # check sits after the control branch so the victim's own
+        # PAUSE/RESUME ledger stays balanced.
+        self.wd_drop = None
         # Committed frames, in service order: (arrival_ps, pkt).  The single
         # delivery event (_del_ev) is armed for the head entry.
         self._inflight: deque = deque()
@@ -370,6 +379,9 @@ class Port:
                 # them at the next frame boundary.
                 self._uncommit_pending(now)
             self._commit(now)
+            return
+        h = self.wd_drop
+        if h is not None and h(pkt):
             return
         prio = pkt.priority
         size = pkt.size

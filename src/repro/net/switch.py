@@ -125,6 +125,9 @@ class Switch(Node):
         # hosts).
         self._lb_router: Optional[Callable[["Switch", Packet], int]] = None
         self._train_ok = False
+        # PFC-storm watchdog (arm_watchdog); None on healthy switches.  The
+        # data path never reads it — only the control-frame branch does.
+        self._wd: Optional["PfcWatchdog"] = None
         self.buffer_used = 0
         self.drops = 0
         # PFC state, keyed [in_port][prio].
@@ -189,8 +192,11 @@ class Switch(Node):
         if kind >= PAUSE:  # control frame (single compare on the data path)
             p = self.ports[in_port]
             if kind == PAUSE:
-                p.pause(pkt.pause_prio)
                 p.stats.pause_received += 1
+                wd = self._wd
+                if wd is not None and wd.on_pause(in_port, pkt.pause_prio):
+                    return  # storm action: the stuck-XOFF pause is ignored
+                p.pause(pkt.pause_prio)
             else:
                 p.resume(pkt.pause_prio)
                 p.stats.resume_received += 1
@@ -371,6 +377,9 @@ class Switch(Node):
             and self._latency_ps == 0
             and self.router is self._lb_router
             and "receive" not in self.__dict__
+            # A watchdog-isolated storm must see every frame per-port so
+            # its drop action applies; the gate reopens on restoration.
+            and (self._wd is None or not self._wd.storms)
         )
 
     def train_transparent(self) -> bool:
@@ -388,3 +397,235 @@ class Switch(Node):
 
     def total_pause_frames(self) -> int:
         return sum(p.stats.pause_sent for p in self.ports)
+
+    # -- PFC-storm watchdog hooks (DESIGN.md §10) ---------------------------------
+    def _wd_drop_frame(self, pkt: Packet, port_idx: int) -> None:
+        """Reverse the shared-buffer + PFC admission for a frame the
+        watchdog's storm action drops at egress — the exact accounting
+        mirror of :meth:`on_departure`, minus telemetry stamping (the
+        frame never reaches a wire).  May emit an upstream RESUME, which
+        is the isolation payoff: draining the stormed queue un-wedges the
+        ingress that was pushing it."""
+        size = pkt.size
+        self.buffer_used -= size
+        if self._pfc_on and pkt.kind < PAUSE:
+            in_p, prio = pkt.in_port, pkt.priority
+            counters = self._pfc_bytes[in_p]
+            counters[prio] -= size
+            if counters[prio] <= self._xon and self._pfc_paused_up[in_p][prio]:
+                self._pfc_paused_up[in_p][prio] = False
+                self._send_pfc(in_p, prio, RESUME)
+        self.drops += 1
+        self.ports[port_idx].stats.drops += 1
+
+
+class PfcWatchdogConfig:
+    """Thresholds and actions for :class:`PfcWatchdog`, following the
+    SONiC pfc_wd model (detection time, restoration time, storm action).
+
+    * ``detect_ps`` — a queue continuously paused this long is a storm.
+    * ``poll_ps`` — dwell sampling period; detection latency is bounded by
+      ``detect_ps + poll_ps``.
+    * ``restore_ps`` — once no further PAUSE refresh has arrived for this
+      long, the storm is declared over and normal PFC resumes.
+    * ``action`` — ``"drop"`` (SONiC default: drop data on the stormed
+      queue so it cannot back-pressure the fabric) or ``"forward"``
+      (ignore the pause but keep forwarding).
+    """
+
+    __slots__ = ("detect_ps", "poll_ps", "restore_ps", "action")
+
+    def __init__(
+        self,
+        detect_ps: int = 200_000_000,
+        poll_ps: Optional[int] = None,
+        restore_ps: Optional[int] = None,
+        action: str = "drop",
+    ) -> None:
+        if detect_ps <= 0:
+            raise ValueError("detect_ps must be positive")
+        if action not in ("drop", "forward"):
+            raise ValueError(f"unknown storm action {action!r}")
+        self.detect_ps = detect_ps
+        self.poll_ps = poll_ps if poll_ps is not None else max(1, detect_ps // 4)
+        self.restore_ps = restore_ps if restore_ps is not None else 2 * detect_ps
+        if self.poll_ps <= 0 or self.restore_ps <= 0:
+            raise ValueError("poll_ps/restore_ps must be positive")
+        self.action = action
+
+
+class PfcWatchdog:
+    """Per-switch stuck-XOFF detector with SONiC-style storm isolation.
+
+    A periodic poller samples every (egress port, priority) pause flag;
+    a queue paused continuously for ``detect_ps`` is declared stormed:
+    it is force-resumed (so the victim's throughput recovers), subsequent
+    PAUSE refreshes for it are absorbed (``Switch.receive`` asks
+    :meth:`on_pause` first), and under the ``"drop"`` action data frames
+    admitted toward the stormed queue are dropped with full accounting
+    reversal (``Switch._wd_drop_frame``) so they cannot re-wedge the
+    shared buffer.  Once PAUSE refreshes stop for ``restore_ps``, the
+    storm is restored and ordinary PFC semantics return.
+
+    Registered as an engine monitor (``sim.register_monitor``) so flight
+    dumps and run teardown disarm the poller.
+    """
+
+    def __init__(self, sw: Switch, config: PfcWatchdogConfig, tracer=None) -> None:
+        self.sw = sw
+        self.config = config
+        self.tracer = tracer
+        #: active storms: (port_idx, prio) -> storm-start timestamp.
+        self.storms: dict = {}
+        self._since: dict = {}  # (port_idx, prio) -> first-seen-paused ts
+        self._last_pause: dict = {}  # (port_idx, prio) -> last PAUSE refresh ts
+        self._stormed_prios: dict = {}  # port_idx -> set of stormed prios
+        self.storms_detected = 0
+        self.storms_restored = 0
+        self.pauses_ignored = 0
+        self.pkts_dropped = 0
+        self._poller = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        from repro.sim.timer import Periodic
+
+        self._poller = Periodic(self.sw.sim, self.config.poll_ps, self._poll)
+        self._poller.start()
+        self.sw.sim.register_monitor(self)
+
+    def stop(self) -> None:
+        """Engine-monitor contract: idempotent disarm."""
+        if self._poller is not None:
+            self._poller.stop()
+            self._poller = None
+
+    # -- hot hooks (control path only) ---------------------------------------
+    def on_pause(self, port_idx: int, prio: int) -> bool:
+        """Called by ``Switch.receive`` for every PAUSE.  True = absorb
+        (storm active on this queue); False = apply normally."""
+        key = (port_idx, prio)
+        self._last_pause[key] = self.sw.sim.now
+        if key in self.storms:
+            self.pauses_ignored += 1
+            return True
+        return False
+
+    # -- polling -------------------------------------------------------------
+    def _poll(self, _now: int) -> None:
+        sw = self.sw
+        now = sw.sim.now
+        cfg = self.config
+        if self.storms:
+            for key in list(self.storms):
+                if now - self._last_pause.get(key, 0) >= cfg.restore_ps:
+                    self._storm_off(key, now)
+        since = self._since
+        for port in sw.ports:
+            paused = port.paused
+            idx = port.index
+            for prio in range(len(paused)):
+                key = (idx, prio)
+                if paused[prio]:
+                    t0 = since.get(key)
+                    if t0 is None:
+                        since[key] = now
+                    elif now - t0 >= cfg.detect_ps and key not in self.storms:
+                        self._storm_on(key, now)
+                elif key in since:
+                    del since[key]
+
+    def _storm_on(self, key, now: int) -> None:
+        port_idx, prio = key
+        sw = self.sw
+        self.storms[key] = now
+        self._since.pop(key, None)
+        self.storms_detected += 1
+        port = sw.ports[port_idx]
+        # Un-wedge the victim queue: force XON.  While the storm lasts,
+        # on_pause absorbs every refresh, so the queue stays runnable.
+        port.resume(prio)
+        if self.config.action == "drop":
+            stormed = self._stormed_prios.setdefault(port_idx, set())
+            stormed.add(prio)
+            if port.wd_drop is None:
+                port.wd_drop = self._make_drop(port, stormed)
+        sw._recompute_train_ok()
+        self._emit("pfc_wd_storm_on", port_idx, prio)
+
+    def _storm_off(self, key, now: int) -> None:
+        port_idx, prio = key
+        sw = self.sw
+        del self.storms[key]
+        self.storms_restored += 1
+        stormed = self._stormed_prios.get(port_idx)
+        if stormed is not None:
+            stormed.discard(prio)
+            if not stormed:
+                sw.ports[port_idx].wd_drop = None
+                del self._stormed_prios[port_idx]
+        sw._recompute_train_ok()
+        self._emit("pfc_wd_storm_off", port_idx, prio)
+
+    def _make_drop(self, port, stormed: set):
+        sw = self.sw
+        port_idx = port.index
+
+        def wd_drop(pkt) -> bool:
+            if pkt.priority in stormed:
+                sw._wd_drop_frame(pkt, port_idx)
+                self.pkts_dropped += 1
+                return True
+            return False
+
+        return wd_drop
+
+    def _emit(self, name: str, port_idx: int, prio: int) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                "fault",
+                name,
+                self.sw.sim.now,
+                args={"node": self.sw.name, "port": port_idx, "prio": prio},
+            )
+
+    # -- reporting -----------------------------------------------------------
+    def state(self) -> dict:
+        """Flight-dump / metrics view of the watchdog."""
+        return {
+            "switch": self.sw.name,
+            "action": self.config.action,
+            "storms_detected": self.storms_detected,
+            "storms_restored": self.storms_restored,
+            "pauses_ignored": self.pauses_ignored,
+            "pkts_dropped": self.pkts_dropped,
+            "active": sorted(list(k) for k in self.storms),
+        }
+
+    def collect(self):
+        """``MetricsRegistry`` pull collector (aggregate counters; keys are
+        shared across switches so fleet totals sum naturally)."""
+        counters = {
+            "pfc_wd.storms_detected": self.storms_detected,
+            "pfc_wd.storms_restored": self.storms_restored,
+            "pfc_wd.pauses_ignored": self.pauses_ignored,
+            "pfc_wd.pkts_dropped": self.pkts_dropped,
+        }
+        return counters, {"pfc_wd.active_storms": float(len(self.storms))}
+
+
+def arm_watchdog(
+    sw: Switch,
+    config: Optional[PfcWatchdogConfig] = None,
+    tracer=None,
+    registry=None,
+) -> PfcWatchdog:
+    """Attach and start a :class:`PfcWatchdog` on one switch."""
+    if sw._wd is not None:
+        raise RuntimeError(f"{sw.name}: watchdog already armed")
+    wd = PfcWatchdog(sw, config or PfcWatchdogConfig(), tracer=tracer)
+    sw._wd = wd
+    wd.start()
+    if registry is not None:
+        registry.bind_collector(wd.collect)
+    return wd

@@ -16,8 +16,14 @@ File format (all keys optional except ``exception``)::
       "ports":     [{"node", "port", "qbytes", "paused", ...counters}, ...],
       "flows":     [{"flow", "host", "size", "acked", "rate_gbps"}, ...],
       "trace_tail": [last-N TraceEvent dicts, oldest first],
-      "registry":  <MetricsRegistry snapshot>
+      "registry":  <MetricsRegistry snapshot>,
+      "faults":    {"plan", "counters", "timeline", "active", "audit",
+                    "watchdogs": [<PfcWatchdog.state()>, ...]}
     }
+
+The ``faults`` section appears only when the run armed a
+:class:`~repro.faults.FaultInjector` (``sim.faults``) or a PFC-storm
+watchdog on some switch — healthy runs dump the same schema as before.
 
 ``ports`` and ``flows`` are bounded (busiest/unfinished first) so a dump
 at million-flow scale stays readable and quick to write.
@@ -116,6 +122,9 @@ class FlightRecorder:
             doc["trace_counts"] = dict(self.tracer.counts)
         if self.registry is not None:
             doc["registry"] = self.registry.snapshot()
+        faults = self._fault_states()
+        if faults:
+            doc["faults"] = faults
         path = self.path or os.path.join(
             tempfile.gettempdir(), f"flightrec-{os.getpid()}.json"
         )
@@ -148,6 +157,22 @@ class FlightRecorder:
     def _nodes(self):
         topo = self.topo
         return list(getattr(topo, "hosts", ())) + list(getattr(topo, "switches", ()))
+
+    def _fault_states(self) -> dict:
+        """The ``faults`` section: active fault timeline + watchdog state,
+        present only when the run armed either (DESIGN.md §10)."""
+        doc: dict = {}
+        inj = getattr(self.sim, "faults", None)
+        if inj is not None:
+            doc.update(inj.flight_state())
+        watchdogs = []
+        for sw in getattr(self.topo, "switches", ()) if self.topo is not None else ():
+            wd = getattr(sw, "_wd", None)
+            if wd is not None:
+                watchdogs.append(wd.state())
+        if watchdogs:
+            doc["watchdogs"] = watchdogs
+        return doc
 
     def _port_states(self) -> list:
         rows = []

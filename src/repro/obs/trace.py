@@ -7,6 +7,7 @@ Categories map to the run's decision points:
 * ``lb``     — load-balancer reroute decisions (ConWeave-lite epochs)
 * ``hybrid`` — tier demotions and epoch-exchange ticks of the hybrid backend
 * ``cc``     — congestion-control pacing-rate changes
+* ``fault``  — fault-plan events and PFC-watchdog storm transitions
 * ``pkt``    — per-frame receive at a tapped switch (opt-in, tap-like)
 
 Train-safety contract (the hard constraint of the observability layer):
@@ -42,8 +43,10 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.net.packet import PAUSE
 
-#: Categories installed by default — all train-safe.
-CATEGORIES = ("flow", "pfc", "lb", "hybrid", "cc")
+#: Categories installed by default — all train-safe.  (``fault`` events
+#: are emitted by the FaultInjector/PfcWatchdog directly, not by an
+#: attach() hook: both are cold control paths.)
+CATEGORIES = ("flow", "pfc", "lb", "hybrid", "cc", "fault")
 #: Opt-in per-frame category (tap-like: closes the train gate per switch).
 PKT = "pkt"
 

@@ -124,6 +124,7 @@ class Simulator:
         "monitors",
         "sanitize",
         "tie_recorder",
+        "faults",
     )
 
     def __init__(
@@ -155,6 +156,10 @@ class Simulator:
         # by its attach(); None on un-instrumented runs.  Registry reads are
         # pull-based, so this costs nothing on the dispatch path.
         self.obs = None
+        # The run's armed FaultInjector (repro.faults), set by its arm();
+        # None on healthy runs.  Read only by cold paths (flight dumps,
+        # audits), never by the dispatch loop.
+        self.faults = None
         # Periodic samplers registered for auto-stop (see stop_monitors).
         self.monitors: list = []
 

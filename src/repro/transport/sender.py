@@ -39,6 +39,15 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Ethernet + IPv4 + UDP + IB BTH + iCRC + FCS overhead per frame.
 HEADER_BYTES = 48
 
+#: Jitterless exponential RTO backoff: the effective timeout doubles per
+#: consecutive timeout, capped at ``initial << RETX_BACKOFF_CAP`` (64x).
+#: No randomized jitter — deterministic replay is the repo's contract;
+#: per-flow start offsets already desynchronize retransmissions.
+RETX_BACKOFF_CAP = 6
+#: Consecutive-timeout budget before a flow degrades to the flow-failed
+#: terminal state; 0 = retransmit forever (the seed's behavior).
+RETX_MAX_TIMEOUTS = 0
+
 
 class TransportConfig:
     """Knobs shared by every QP on a host."""
@@ -48,6 +57,8 @@ class TransportConfig:
         "header_bytes",
         "ack_every",
         "retx_timeout_ps",
+        "retx_backoff_cap",
+        "retx_max_timeouts",
         "window_limited",
         "reorder_window_bytes",
         "reorder_max_pkts",
@@ -60,6 +71,8 @@ class TransportConfig:
         header_bytes: int = HEADER_BYTES,
         ack_every: int = 1,
         retx_timeout_ps: int = 0,  # 0 = disabled (lossless fabric default)
+        retx_backoff_cap: int = RETX_BACKOFF_CAP,
+        retx_max_timeouts: int = RETX_MAX_TIMEOUTS,
         window_limited: bool = True,
         reorder_window_bytes: int = 0,  # 0 = strict in-order (dup-ACK on OOO)
         reorder_max_pkts: int = 512,
@@ -73,10 +86,18 @@ class TransportConfig:
             raise ValueError("invalid reorder window")
         if dupack_rewind < 0:
             raise ValueError("dupack_rewind must be >= 0")
+        if retx_backoff_cap < 0 or retx_max_timeouts < 0:
+            raise ValueError("retx backoff/max-timeouts must be >= 0")
         self.mtu = mtu
         self.header_bytes = header_bytes
         self.ack_every = ack_every
         self.retx_timeout_ps = retx_timeout_ps
+        # Graceful degradation (DESIGN.md §10): exponential, jitterless
+        # backoff of consecutive timeouts, and an optional budget after
+        # which the flow reaches the flow-failed terminal state instead of
+        # retransmitting into a partition forever.
+        self.retx_backoff_cap = retx_backoff_cap
+        self.retx_max_timeouts = retx_max_timeouts
         self.window_limited = window_limited
         # Receiver-side out-of-order tolerance: how far past the next
         # expected byte arrivals may be buffered before being dropped with a
@@ -131,6 +152,9 @@ class SenderQP:
         "on_complete",
         "acks_received",
         "timeouts",
+        "srtt_ps",
+        "_consec_timeouts",
+        "failed",
         "start_ps",
         "_dupacks",
         "_dupack_rewind",
@@ -186,6 +210,14 @@ class SenderQP:
         self.on_complete: Optional[Callable[["SenderQP"], None]] = None
         self.acks_received = 0
         self.timeouts = 0
+        # Smoothed RTT (EWMA, gain 1/8) from ACK-echoed send timestamps;
+        # 0 until the first sample.  Drives retransmission-timer re-arms.
+        self.srtt_ps = 0
+        self._consec_timeouts = 0
+        # Flow-failed terminal state: retx_max_timeouts exhausted.  A
+        # failed flow is also ``finished`` (teardown/sinks run once); the
+        # flag distinguishes degradation from completion.
+        self.failed = False
         self.start_ps = flow.start_ps
         # Duplicate-ACK fast rewind (see TransportConfig.dupack_rewind).
         self._dupacks = 0
@@ -304,7 +336,19 @@ class SenderQP:
             self.snd_una = seq
             self._dupacks = 0
             if self._retx_ps > 0:
-                self._retx_timer.start(self._retx_ps)
+                # Track the current RTT from the echoed send timestamp
+                # (<= 0: gratuitous ACK, no sample — same convention as
+                # Timely/Swift) and re-arm from it: max(initial RTO,
+                # 2*srtt), so a congested path widens the timer instead
+                # of firing spurious go-back-N rewinds at the
+                # connection-initial RTO.  Progress resets the backoff.
+                ts = ack.echo_sent_ts
+                if ts > 0:
+                    sample = self.sim.now - ts
+                    srtt = self.srtt_ps
+                    self.srtt_ps = sample if srtt == 0 else (7 * srtt + sample) >> 3
+                self._consec_timeouts = 0
+                self._retx_timer.start(self._rto())
             if self._dupack_rewind and seq > self.snd_nxt:
                 # A rewind retransmitted a hole whose following bytes were
                 # already buffered at the receiver: the cumulative ACK has
@@ -343,16 +387,42 @@ class SenderQP:
         if not self.finished:
             self.cc.on_cnp(self)
 
+    def _rto(self) -> int:
+        """Effective retransmission timeout: the larger of the configured
+        initial RTO and twice the smoothed RTT, left-shifted once per
+        consecutive timeout up to ``retx_backoff_cap`` (jitterless
+        exponential backoff — deterministic replay)."""
+        rto = self._retx_ps
+        est = self.srtt_ps << 1
+        if est > rto:
+            rto = est
+        n = self._consec_timeouts
+        cap = self.config.retx_backoff_cap
+        return rto << (n if n < cap else cap)
+
     def _retx_fire(self, _arg) -> None:
         if self.finished:
             return
-        # Go-back-N: rewind to the last cumulatively acknowledged byte.
         self.timeouts += 1
+        self._consec_timeouts += 1
+        limit = self.config.retx_max_timeouts
+        if limit and self._consec_timeouts >= limit:
+            # Graceful degradation: the path is (for this flow) a
+            # partition.  Reach the flow-failed terminal state instead of
+            # backing off forever — experiments then count the flow as
+            # resolved (failed), never hung.
+            self._fail()
+            return
+        # Go-back-N: rewind to the last cumulatively acknowledged byte.
         self.snd_nxt = self.snd_una
         self.next_tx_ps = self.sim.now
         self.cc.on_timeout(self)
-        self._retx_timer.start(self.config.retx_timeout_ps)
+        self._retx_timer.start(self._rto())
         self._maybe_send()
+
+    def _fail(self) -> None:
+        self.failed = True
+        self._finish()
 
     def abort(self) -> None:
         """Stop sending immediately (used by long-lived-flow experiments

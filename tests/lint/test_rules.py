@@ -235,6 +235,94 @@ def test_d103_suppressed():
     ) == []
 
 
+# -- D104: fault-module seed discipline ---------------------------------------
+
+FAULTS_MOD = "src/repro/faults/fixture_mod.py"
+
+D104_AMBIENT = """
+    import random
+    def flap_jitter():
+        return random.randrange(100)
+"""
+
+D104_ADHOC = """
+    import random
+    def make_schedule(seed):
+        rng = random.Random(seed)
+        return [rng.random() for _ in range(4)]
+"""
+
+
+def test_d104_ambient_entropy_in_fault_module():
+    findings = run(D104_AMBIENT, relpath=FAULTS_MOD, rules=["D104"])
+    assert [f.rule for f in findings] == ["D104"]
+    assert "seeds.stream" in findings[0].message
+
+
+def test_d104_adhoc_seeded_rng_in_fault_module():
+    # The D101 gap D104 closes: random.Random(seed) is *seeded* (D101-clean)
+    # but still a private entropy root invisible to the run seed.
+    findings = run(D104_ADHOC, relpath=FAULTS_MOD, rules=["D104"])
+    assert [f.rule for f in findings] == ["D104"]
+    assert "private RNG" in findings[0].message
+    assert rules_hit(D104_ADHOC, relpath=FAULTS_MOD, rules=["D101"]) == []
+
+
+def test_d104_numpy_rng_in_fault_module():
+    assert rules_hit(
+        """
+        import numpy as np
+        def draw():
+            return np.random.default_rng(7)
+        """,
+        relpath=FAULTS_MOD,
+        rules=["D104"],
+    ) == ["D104"]
+
+
+def test_d104_scoped_to_fault_modules():
+    # The same snippets outside faults/ are D104-clean (D101 still owns the
+    # ambient-entropy half there).
+    assert rules_hit(D104_AMBIENT, rules=["D104"]) == []
+    assert rules_hit(D104_ADHOC, rules=["D104"]) == []
+
+
+def test_d104_clean_seed_factory_stream():
+    assert rules_hit(
+        """
+        def expand(plan, seeds):
+            rng = seeds.stream(f"faults.{plan.name}")
+            return rng.randrange(10)
+        """,
+        relpath=FAULTS_MOD,
+        rules=["D104"],
+    ) == []
+
+
+def test_d104_suppressed():
+    assert rules_hit(
+        """
+        import random
+        def demo():
+            # fncc-lint: allow[D104] doc example, never armed against a sim
+            return random.random()
+        """,
+        relpath=FAULTS_MOD,
+        rules=["D104"],
+    ) == []
+
+
+def test_d104_shipping_fault_modules_clean():
+    # The real faults/ package must satisfy its own rule (baseline empty).
+    import glob
+
+    for path in sorted(glob.glob(os.path.join(_REPO_ROOT, "src/repro/faults/*.py"))):
+        rel = os.path.relpath(path, _REPO_ROOT).replace(os.sep, "/")
+        with open(path, "r", encoding="utf-8") as fh:
+            findings = lint_source(fh.read(), rel, DEFAULTS, ["D104"])
+        assert findings == [], f"{rel}: {[str(f) for f in findings]}"
+
+
 # -- P201/P202: spec picklability --------------------------------------------
 
 

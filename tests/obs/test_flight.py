@@ -121,3 +121,51 @@ class TestDumpRobustness:
         doc = json.loads(path.read_text())
         assert doc["exception"]["type"] is None
         assert "engine" not in doc  # never bound to a sim
+
+
+class TestFaultsSection:
+    def test_armed_run_dumps_faults_section(self, sim, tmp_path):
+        """A run with an armed injector + watchdog dumps a ``faults``
+        section: plan name, counters, event timeline, active fault state,
+        and per-switch watchdog state (DESIGN.md §10)."""
+        from repro.faults import FaultInjector, FaultPlan
+        from repro.net.switch import PfcWatchdogConfig, arm_watchdog
+
+        topo = loaded_dumbbell(sim)
+        plan = (
+            FaultPlan("crashdump")
+            .link_down("sw0", "sw1", at_ps=us(5))
+            .gray_loss("sw1", "sw2", start_ps=us(1), end_ps=us(40), prob=0.1)
+        )
+        injector = FaultInjector(plan).arm(sim, topo, seeds=topo.seeds)
+        wd = arm_watchdog(topo.switches[0], PfcWatchdogConfig(detect_ps=us(10)))
+        path = tmp_path / "fr.json"
+        flight = FlightRecorder(path=str(path))
+        with pytest.raises(RuntimeError):
+            with flight.guard(sim=sim, topo=topo):
+                sim.run(until=us(30))
+                raise RuntimeError("mid-outage crash")
+        doc = json.loads(path.read_text())
+        faults = doc["faults"]
+        assert faults["plan"] == "crashdump"
+        assert faults["specs"] == 2
+        assert faults["counters"]["events"] > 0
+        assert any(ev["event"] == "link_down" for ev in faults["timeline"])
+        assert ["sw0", "sw1"] in faults["active"]["dead_links"]
+        wd_rows = faults["watchdogs"]
+        assert [row["switch"] for row in wd_rows] == [topo.switches[0].name]
+        assert wd_rows[0] == wd.state()
+        # Keep the injector from leaking wrappers into later tests.
+        injector.disarm()
+
+    def test_healthy_run_has_no_faults_section(self, sim, tmp_path):
+        """faults=None runs dump the pre-existing schema: no key at all."""
+        topo = loaded_dumbbell(sim)
+        path = tmp_path / "fr.json"
+        flight = FlightRecorder(path=str(path))
+        with pytest.raises(RuntimeError):
+            with flight.guard(sim=sim, topo=topo):
+                sim.run(until=us(30))
+                raise RuntimeError("healthy crash")
+        doc = json.loads(path.read_text())
+        assert "faults" not in doc

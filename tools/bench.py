@@ -412,6 +412,18 @@ def _main(argv=None) -> int:
         "never writes the trajectory)",
     )
     parser.add_argument(
+        "--ab-faults",
+        action="store_true",
+        help="measure the §5.5 FCT cell with the fault layer off "
+        "(faults=None) AND armed with the no-op FaultPlan, in paired "
+        "rounds; exit 1 if the FCT or PortStats fingerprints differ (the "
+        "no-op plan must be byte-identical — DESIGN.md §10 zero-"
+        "perturbation obligation) or the armed run is slower beyond "
+        "--threshold on the quietest round (target is <=2%%; the gate "
+        "reuses the wall threshold for CI-noise headroom; never writes "
+        "the trajectory)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="attach a live progress reporter (wall-clock heartbeats with "
@@ -574,6 +586,63 @@ def _main(argv=None) -> int:
             print(f"{name:>18} {off:9.3f} {on:9.3f} {ratio:8.2f} {verdict}")
         if failures:
             print(f"ab-obs: telemetry overhead exceeded the gate on {failures} scenario(s)")
+            return 1
+        return 0
+
+    if args.ab_faults:
+        from repro.experiments.common import portstats_fingerprint
+        from repro.experiments.fct_experiment import run_fct_experiment
+        from repro.faults import FaultPlan
+
+        repeats = 3 if args.quick else max(3, args.repeats)
+        cell = dict(cc="fncc", n_flows=120, max_horizon_ms=20.0, seed=1)
+        print(
+            f"A/B faults off vs no-op plan: fct cell {cell} "
+            f"(rounds={repeats}, paired) ...",
+            flush=True,
+        )
+        # Paired rounds (cf. --ab-sanitize): off and armed run back to
+        # back so machine drift hits both sides of each ratio; the wall
+        # gate reads the *minimum* round ratio.  The byte-identity check
+        # is absolute: every round of every mode must produce the same
+        # FCT + PortStats fingerprints, and off must equal armed.
+        walls = {"off": None, "noop": None}
+        fps = {}
+        ratios = []
+        for _ in range(repeats):
+            round_walls = {}
+            for mode, faults in (("off", None), ("noop", FaultPlan.noop())):
+                t0 = time.perf_counter()
+                res = run_fct_experiment(faults=faults, **cell)
+                round_walls[mode] = time.perf_counter() - t0
+                fp = (res.fct_fingerprint(), portstats_fingerprint(res.topo))
+                if mode not in fps:
+                    fps[mode] = fp
+                elif fps[mode] != fp:
+                    print(f"ab-faults: mode {mode!r} is not run-to-run deterministic")
+                    return 1
+            ratios.append(round_walls["noop"] / round_walls["off"])
+            for mode, w in round_walls.items():
+                cur = walls[mode]
+                walls[mode] = w if cur is None else min(cur, w)
+        if fps["off"] != fps["noop"]:
+            print(
+                "ab-faults: FAIL — arming the no-op FaultPlan perturbed the "
+                "run (FCT/PortStats fingerprints differ from faults=None)"
+            )
+            return 1
+        ratio = min(ratios)
+        verdict = "FAIL" if ratio > 1 + args.threshold else "ok"
+        print(
+            f"  fingerprints: identical ({len(fps['off'][0])} flows, "
+            f"{len(fps['off'][1])} port rows)"
+        )
+        print(
+            f"  wall: off {walls['off']:.3f}s -> armed {walls['noop']:.3f}s "
+            f"(min round ratio {ratio:.3f}) {verdict}"
+        )
+        if verdict == "FAIL":
+            print("ab-faults: no-op fault layer overhead exceeded the gate")
             return 1
         return 0
 

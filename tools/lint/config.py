@@ -19,6 +19,41 @@ try:  # Python 3.11+
 except ImportError:  # pragma: no cover - exercised on the 3.9/3.10 CI floor
     _toml = None
 
+#: Ambient entropy / wall-clock sources banned outside the sanctioned RNG
+#: module (D101 everywhere; D104 re-bans them in fault modules with the
+#: stricter no-ad-hoc-RNG policy layered on top).
+_ENTROPY_CALLS: List[str] = [
+    "random.random",
+    "random.randint",
+    "random.randrange",
+    "random.choice",
+    "random.choices",
+    "random.shuffle",
+    "random.sample",
+    "random.uniform",
+    "random.gauss",
+    "random.normalvariate",
+    "random.expovariate",
+    "random.betavariate",
+    "random.paretovariate",
+    "random.triangular",
+    "random.vonmisesvariate",
+    "random.seed",
+    "random.getrandbits",
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.randbelow",
+]
+
 #: Repo policy.  Keys are lower-cased rule names; ``paths``/``baseline`` are
 #: tool-level.  Path values are repo-relative posix paths.
 DEFAULTS: Dict[str, Any] = {
@@ -28,37 +63,15 @@ DEFAULTS: Dict[str, Any] = {
         # The sanctioned seeded-RNG module (DESIGN.md §4): named streams
         # derived from the run seed.  Everything else draws through it.
         "allow_modules": ["src/repro/sim/rng.py"],
-        "banned_calls": [
-            "random.random",
-            "random.randint",
-            "random.randrange",
-            "random.choice",
-            "random.choices",
-            "random.shuffle",
-            "random.sample",
-            "random.uniform",
-            "random.gauss",
-            "random.normalvariate",
-            "random.expovariate",
-            "random.betavariate",
-            "random.paretovariate",
-            "random.triangular",
-            "random.vonmisesvariate",
-            "random.seed",
-            "random.getrandbits",
-            "time.time",
-            "time.time_ns",
-            "datetime.datetime.now",
-            "datetime.datetime.utcnow",
-            "datetime.datetime.today",
-            "datetime.date.today",
-            "os.urandom",
-            "uuid.uuid1",
-            "uuid.uuid4",
-            "secrets.token_bytes",
-            "secrets.token_hex",
-            "secrets.randbelow",
-        ],
+        "banned_calls": list(_ENTROPY_CALLS),
+    },
+    "d104": {
+        # Fault-schedule modules (DESIGN.md §10): every draw must come from
+        # the plan's named stream off the topology seed factory.  Same
+        # entropy ban as D101, plus ad-hoc RNG construction (hardcoded in
+        # the rule) — and no allow-list: nothing in faults/ is exempt.
+        "fault_modules": ["src/repro/faults"],
+        "banned_calls": list(_ENTROPY_CALLS),
     },
     "d102": {
         "schedule_calls": ["schedule", "schedule_at", "schedule_reuse"],

@@ -1,10 +1,11 @@
-"""D-series: determinism rules (DESIGN.md §4).
+"""D-series: determinism rules (DESIGN.md §4, §10).
 
 The determinism contract says a run is a pure function of its seed: same
 seed, same fingerprints, on any machine, under any PYTHONHASHSEED.  These
-rules catch the three ways code silently breaks that — ambient entropy
-(D101), hash-ordered iteration feeding the event queue (D102), and float
-arithmetic in event-key expressions (D103).
+rules catch the ways code silently breaks that — ambient entropy (D101),
+hash-ordered iteration feeding the event queue (D102), float arithmetic
+in event-key expressions (D103), and fault-module randomness that does
+not derive from the plan's named seed stream (D104).
 """
 
 from __future__ import annotations
@@ -130,6 +131,61 @@ def check_d102(ctx: FileContext) -> Iterator[Finding]:
                 f"loop over {label} schedules events: iteration order is "
                 f"hash-/insertion-dependent and becomes the event tiebreak; "
                 f"iterate a sorted() or list-ordered collection",
+            )
+
+
+#: Ad-hoc RNG constructors: even *seeded*, these are parallel entropy roots
+#: — a fault schedule drawn from one replays differently the moment anyone
+#: reorders construction, and its seed is invisible to the run fingerprint.
+_ADHOC_RNGS = (
+    "random.Random",
+    "random.SystemRandom",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+)
+
+
+@rule(
+    "D104",
+    "fault-module randomness not derived from the plan's named seed "
+    "stream (ambient random.*/time sources, or ad-hoc RNG construction)",
+    "DESIGN.md §10",
+)
+def check_d104(ctx: FileContext) -> Iterator[Finding]:
+    """Replay of an armed :class:`FaultPlan` must be byte-identical per
+    seed (ISSUE: faultmatrix fingerprints match across ``--jobs``).  That
+    holds only if *every* draw a fault module makes flows from the plan's
+    named stream (``seeds.stream("faults.<plan>")``) — module-level
+    ``random.*``, wall-clock sources, and privately constructed RNGs all
+    break it, ambient or not."""
+    cfg = ctx.rule_cfg("d104")
+    if not ctx.in_paths(cfg.get("fault_modules", ())):
+        return
+    banned = set(cfg.get("banned_calls", ()))
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = ctx.dotted(node.func)
+        if dotted in banned:
+            yield Finding(
+                "D104",
+                ctx.relpath,
+                node.lineno,
+                node.col_offset + 1,
+                f"fault schedules must be a pure function of the plan's "
+                f"named seed: {dotted}() draws outside the seed factory; "
+                f"use seeds.stream('faults.<plan>') (repro.sim.rng)",
+            )
+        elif dotted in _ADHOC_RNGS:
+            yield Finding(
+                "D104",
+                ctx.relpath,
+                node.lineno,
+                node.col_offset + 1,
+                f"{dotted}() builds a private RNG in a fault module; even "
+                f"seeded, its draws are invisible to the run seed — derive "
+                f"the stream via seeds.stream('faults.<plan>') instead",
             )
 
 
