@@ -265,6 +265,42 @@ def _paper_scale(backend: str = "packet", obs=None) -> ScenarioResult:
     return _fct_cell(PAPER_SCALE_KW, backend, obs=obs)
 
 
+#: ``shard_scale`` cell — the sharded-engine scenario (DESIGN.md §11): the
+#: paper fabric (k=8, 128 hosts) under the Fig. 14 workload, sized down to
+#: seconds-scale so serial (``--shards 1``) and partitioned (``--shards N``)
+#: entries are recordable back-to-back.  Identity between the two is pinned
+#: by tests/shard/test_identity.py and re-asserted by ``--ab-shards``; the
+#: trajectory entries carry ``shards``/``cpu_count`` provenance, so a wall
+#: ratio is only a speedup claim when the recording machine had the cores.
+SHARD_SCALE_KW = dict(
+    workload="websearch", k=8, load=0.3, n_flows=200, scale=0.2, seed=1
+)
+
+
+def _shard_scale(shards: int = 1) -> ScenarioResult:
+    if shards <= 1:
+        from repro.experiments.fct_experiment import run_fct_experiment
+
+        r = run_fct_experiment("fncc", **SHARD_SCALE_KW)
+        assert r.completed() == SHARD_SCALE_KW["n_flows"], "serial cell lost flows"
+        return [r.sim], [r.topo]
+
+    from repro.shard import run_sharded_fct
+
+    r = run_sharded_fct("fncc", shards=shards, **SHARD_SCALE_KW)
+    assert r.completed == SHARD_SCALE_KW["n_flows"], "sharded cell lost flows"
+    # Per-shard dispatch totals legitimately exceed the serial count
+    # (injection bounces, unowned-copy ticks — see ShardedRunResult); the
+    # merged tx counters are byte-identical to serial, so frame_hops stays
+    # the cross-representation throughput metric.
+    events = sum(r.events_by_shard.values())
+    hops = sum(row[2] for row in r.portstats)
+    return (
+        [SimpleNamespace(events_dispatched=events)],
+        [SimpleNamespace(frame_hops=hops)],
+    )
+
+
 def _million_flows(backend: str = "hybrid", obs=None) -> ScenarioResult:
     return _fct_cell(MILLION_FLOWS_KW, backend, strict=True, obs=obs)
 
@@ -280,6 +316,7 @@ SCENARIOS: Dict[str, Callable[..., ScenarioResult]] = {
     "lbmatrix": _lbmatrix,
     "pause_storm": _pause_storm,
     "sweep": _sweep,
+    "shard_scale": _shard_scale,
     "paper_scale": _paper_scale,
     "million_flows": _million_flows,
     "million_flows_quick": _million_flows_quick,
@@ -288,6 +325,11 @@ SCENARIOS: Dict[str, Callable[..., ScenarioResult]] = {
 #: Scenarios whose callable takes ``jobs`` (the sweep-executor fan-out);
 #: all others ignore ``--jobs`` and measure the single-run hot path.
 JOBS_SCENARIOS = frozenset({"sweep"})
+
+#: Scenarios whose callable takes ``shards`` (``tools/bench.py
+#: --shards``): partitioned-engine scenarios.  Entries record the flag so
+#: ``--check`` never gates a sharded entry against a serial one.
+SHARDS_SCENARIOS = frozenset({"shard_scale"})
 
 #: Scenarios whose callable takes ``backend`` (``tools/bench.py
 #: --backend``); entries record the flag so ``--check`` never gates a
@@ -371,6 +413,7 @@ def measure_scenario(
     repeats: int = 3,
     jobs: int = 1,
     backend: str = "",
+    shards: int = 1,
     obs: bool = False,
     progress: bool = False,
 ) -> Dict[str, float]:
@@ -379,7 +422,10 @@ def measure_scenario(
     scenarios in :data:`JOBS_SCENARIOS`; pool startup is deliberately
     *inside* the timed region (it is part of the sweep's wall cost).
     ``backend`` (when non-empty) reaches the :data:`BACKEND_SCENARIOS`;
-    others keep the packet hot path.  ``obs``/``progress`` attach one
+    others keep the packet hot path.  ``shards`` reaches the
+    :data:`SHARDS_SCENARIOS` (``shards=1`` is the serial engine; like pool
+    startup, the coordinator's barrier protocol is deliberately inside the
+    timed region).  ``obs``/``progress`` attach one
     :class:`repro.obs.RunObservability` bundle to the
     :data:`OBS_SCENARIOS` (re-bound across repeats; it is left on
     :data:`LAST_OBS` for ``tools/profile.py --obs``)."""
@@ -388,6 +434,8 @@ def measure_scenario(
     kwargs = {"jobs": jobs} if name in JOBS_SCENARIOS else {}
     if backend and name in BACKEND_SCENARIOS:
         kwargs["backend"] = backend
+    if name in SHARDS_SCENARIOS:
+        kwargs["shards"] = shards
     if (obs or progress) and name in OBS_SCENARIOS:
         LAST_OBS = kwargs["obs"] = make_obs(name, progress=progress, tracer=obs)
     if name not in HEAVY_SCENARIOS:
@@ -419,14 +467,15 @@ def measure_all(
     repeats: int = 3,
     jobs: int = 1,
     backend: str = "",
+    shards: int = 1,
     obs: bool = False,
     progress: bool = False,
 ) -> Dict[str, Dict[str, float]]:
     names = list(names) if names is not None else list(DEFAULT_SCENARIOS)
     return {
         name: measure_scenario(
-            name, repeats=repeats, jobs=jobs, backend=backend, obs=obs,
-            progress=progress,
+            name, repeats=repeats, jobs=jobs, backend=backend, shards=shards,
+            obs=obs, progress=progress,
         )
         for name in names
     }

@@ -102,8 +102,8 @@ class Dcqcn(CongestionControl):
         self.alpha = 1.0
         qp.window = UNLIMITED_WINDOW
         qp.rate_gbps = self.rc
-        self._alpha_timer = Timer(qp.sim, self._alpha_fire)
-        self._inc_timer = Timer(qp.sim, self._inc_fire)
+        self._alpha_timer = Timer(qp.sim, self._alpha_fire, qp.host.lane)
+        self._inc_timer = Timer(qp.sim, self._inc_fire, qp.host.lane)
         self._alpha_timer.start(self.config.alpha_timer_ps)
         self._inc_timer.start(self.config.inc_timer_ps)
 

@@ -71,7 +71,9 @@ class RoccPortController:
         self.config = config
         self.fair_rate_gbps = self.port.rate_gbps
         self._q_prev = 0
-        self._periodic = Periodic(switch.sim, config.update_interval_ps, self._update)
+        self._periodic = Periodic(
+            switch.sim, config.update_interval_ps, self._update, switch.lane
+        )
 
     def start(self) -> None:
         self._periodic.start()

@@ -112,6 +112,78 @@ class FaultAuditor:
                     f"at quiescence ({s.pause_sent} pauses, {s.resume_sent} resumes)"
                 )
 
+    # -- merged multi-shard snapshots ------------------------------------
+
+    @staticmethod
+    def audit_merged(payloads, quiescent: bool = True) -> List[str]:
+        """Quiescence audit over the merged plain-data payloads of a
+        sharded run (the values of ``collect_all()``).
+
+        Each shard reports only the ports it owns, so the PFC ledger
+        balances *only in the union*: a PAUSE sent across a cut counts
+        ``pause_sent`` on one shard and ``pause_received`` on another.
+        At a drained stop the merged ledger must balance exactly and the
+        boundaries must be empty (the coordinator only declares idle
+        when the last window exported nothing).  At a horizon stop the
+        tx-vs-rx gaps must be covered by the boundary residue: frames
+        exported but not yet injected plus frames still on a cut wire
+        past the final barrier.
+        """
+        totals = {
+            "pause_sent": 0,
+            "pause_received": 0,
+            "resume_sent": 0,
+            "resume_received": 0,
+        }
+        exported = injected = in_flight = 0
+        for payload in payloads.values() if isinstance(payloads, dict) else payloads:
+            pfc = payload["pfc"]
+            for key in totals:
+                totals[key] += pfc[key]
+            b = payload.get("boundary", {})
+            exported += b.get("exported", 0)
+            injected += b.get("injected", 0)
+            in_flight += b.get("in_flight", 0)
+
+        v: List[str] = []
+        pause_gap = totals["pause_sent"] - totals["pause_received"]
+        resume_gap = totals["resume_sent"] - totals["resume_received"]
+        if pause_gap < 0:
+            v.append(
+                f"merged ledger: {-pause_gap} more PAUSE received than sent"
+            )
+        if resume_gap < 0:
+            v.append(
+                f"merged ledger: {-resume_gap} more RESUME received than sent"
+            )
+        residue = (exported - injected) + in_flight
+        if residue < 0:
+            v.append(
+                f"boundary ledger: {injected - exported} more frames injected "
+                f"than exported"
+            )
+        if quiescent:
+            if exported != injected:
+                v.append(
+                    f"boundary residue at quiescence: {exported} exported vs "
+                    f"{injected} injected"
+                )
+            if in_flight:
+                v.append(
+                    f"{in_flight} frames still on cut wires at quiescence"
+                )
+            if pause_gap or resume_gap:
+                v.append(
+                    f"merged pause/resume ledger imbalance at quiescence "
+                    f"({pause_gap} pauses, {resume_gap} resumes unmatched)"
+                )
+        elif max(pause_gap, 0) + max(resume_gap, 0) > max(residue, 0):
+            v.append(
+                f"merged ledger gaps ({pause_gap} pauses, {resume_gap} resumes) "
+                f"exceed the boundary residue ({residue} frames)"
+            )
+        return v
+
     # -- pull-collector contract ----------------------------------------
 
     def collect(self):

@@ -35,6 +35,12 @@ QUICK_N_FLOWS = 200
 #: effectively off: quick is a smoke gate on the means + KS distance; the
 #: full run is the fidelity instrument.
 QUICK_P99_MIN_SAMPLES = 50
+#: The quick slice also halves every bin's population, so the mean gate
+#: needs more than the full run's 8-sample floor: an 11-sample hadoop bin
+#: sits at ~10% mean error from sampling noise alone (the full 400-flow
+#: run puts the same bin under 1%).  Quick gates means only on bins that
+#: keep a meaningful population at half scale.
+QUICK_MIN_SAMPLES = 12
 
 
 class BinCheck:
@@ -136,6 +142,7 @@ def validate(
     kwargs = dict(SCENARIOS[scenario])
     if quick:
         kwargs["n_flows"] = QUICK_N_FLOWS
+        min_samples = max(min_samples, QUICK_MIN_SAMPLES)
         p99_min_samples = max(p99_min_samples, QUICK_P99_MIN_SAMPLES)
     kwargs.update(overrides)
     kwargs["seed"] = seed

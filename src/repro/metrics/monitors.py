@@ -38,9 +38,9 @@ class _PeriodicSampler:
     """
 
     def __init__(self, sim: "Simulator", interval_ps: int, name: str,
-                 first_offset: "int | None") -> None:
+                 first_offset: "int | None", lane: int = 0) -> None:
         self.series = TimeSeries(name)
-        self._periodic = Periodic(sim, interval_ps, self._sample)
+        self._periodic = Periodic(sim, interval_ps, self._sample, lane)
         register = getattr(sim, "register_monitor", None)
         if register is not None:
             register(self)
@@ -66,7 +66,8 @@ class QueueSampler(_PeriodicSampler):
     def __init__(self, sim: "Simulator", port: "Port", interval_ps: int = us(1)) -> None:
         self.port = port
         super().__init__(
-            sim, interval_ps, f"qlen:{port.node.name}.{port.index}", first_offset=0
+            sim, interval_ps, f"qlen:{port.node.name}.{port.index}",
+            first_offset=0, lane=port.node.lane,
         )
 
     def _sample(self, now: int) -> None:
@@ -79,7 +80,8 @@ class RateSampler(_PeriodicSampler):
     def __init__(self, sim: "Simulator", qp: "SenderQP", interval_ps: int = us(1)) -> None:
         self.qp = qp
         super().__init__(
-            sim, interval_ps, f"rate:flow{qp.flow.flow_id}", first_offset=0
+            sim, interval_ps, f"rate:flow{qp.flow.flow_id}",
+            first_offset=0, lane=qp.host.lane,
         )
 
     def _sample(self, now: int) -> None:
@@ -102,7 +104,8 @@ class UtilizationSampler(_PeriodicSampler):
         # First tick at one full interval (no offset-0 sample): a delta
         # sampler has nothing to report at t=0.
         super().__init__(
-            sim, interval_ps, f"util:{port.node.name}.{port.index}", first_offset=None
+            sim, interval_ps, f"util:{port.node.name}.{port.index}",
+            first_offset=None, lane=port.node.lane,
         )
 
     def _sample(self, now: int) -> None:

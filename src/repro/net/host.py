@@ -98,7 +98,7 @@ class Host(Node):
         delay = flow.start_ps - self.sim.now
         if delay < 0:
             raise ValueError(f"flow {flow.flow_id} starts in the past")
-        self.sim.schedule(delay, lambda _: qp.start())
+        self.sim.schedule(delay, lambda _: qp.start(), None, self.lane)
         return qp
 
     def register_receiver(self, flow: "Flow") -> ReceiverQP:

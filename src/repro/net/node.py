@@ -22,6 +22,9 @@ class Node:
     def __init__(self, sim: "Simulator", name: str) -> None:
         self.sim = sim
         self.name = name
+        # Canonical tie-break lane for events scheduled on this node's
+        # behalf (flow starts, CC timers, samplers) — see Event.key.
+        self.lane = sim.alloc_lane()
         self.ports: List[Port] = []
 
     def new_port(

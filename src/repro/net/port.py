@@ -206,6 +206,8 @@ class Port:
         "sim",
         "node",
         "index",
+        "lane",
+        "_lane_key",
         "rate_gbps",
         "prop_delay_ps",
         "peer",
@@ -258,6 +260,10 @@ class Port:
         self.sim = sim
         self.node = node
         self.index = index
+        # Canonical tie-break lane for this port's delivery events, plus
+        # its pre-shifted key contribution for the inlined re-arm below.
+        self.lane = sim.alloc_lane()
+        self._lane_key = self.lane << 44
         self.rate_gbps = rate_gbps
         self.prop_delay_ps = prop_delay_ps
         self.peer: Optional["Port"] = None
@@ -428,7 +434,7 @@ class Port:
                     self.max_qlen = qt
             if self._del_ev is None:
                 self._del_ev = self.sim.schedule_at(
-                    inflight[0][0], self._tx_deliver, None
+                    inflight[0][0], self._tx_deliver, None, self.lane
                 )
             return
         ecn = self.ecn
@@ -637,7 +643,9 @@ class Port:
                 break
         self.next_free_ps = nf
         if self._del_ev is None and inflight:
-            self._del_ev = self.sim.schedule_at(inflight[0][0], self._tx_deliver, None)
+            self._del_ev = self.sim.schedule_at(
+                inflight[0][0], self._tx_deliver, None, self.lane
+            )
 
     def _classify_train_path(self):
         """One-time (per port) static classification for the fused train
@@ -713,59 +721,14 @@ class Port:
                     if counters[prio] <= A._xon and A._pfc_paused_up[in_a][prio]:
                         A._pfc_paused_up[in_a][prio] = False
                         A._send_pfc(in_a, prio, RESUME)
-                mode = A._int_mode
-                if mode is not _NONE_INT:
-                    if mode is _HPCC:
-                        if kind == DATA:
-                            now = sim.now
-                            acct = self._acct
-                            if acct and acct[0][0] <= now:
-                                self._prune(now)
-                            rec = INTRecord(
-                                self.rate_gbps, now, self.tx_bytes, self._queued_bytes
-                            )
-                            recs = pkt.int_records
-                            if recs is None:
-                                pkt.int_records = [rec]
-                            else:
-                                recs.append(rec)
-                            pkt.size += _INT_BYTES
-                    elif kind == ACK:  # FNCC
-                        snap = A._int_snapshot
-                        rec = INTRecord.__new__(INTRecord)
-                        if snap is not None:
-                            s = snap[pkt.fncc_in_port]
-                            rec.bandwidth_gbps = s.bandwidth_gbps
-                            rec.ts = s.ts
-                            rec.tx_bytes = s.tx_bytes
-                            rec.qlen = s.qlen
-                        else:
-                            p = A.ports[pkt.fncc_in_port]
-                            now = sim.now
-                            acct = p._acct
-                            if acct and acct[0][0] <= now:
-                                p._prune(now)
-                            rec.bandwidth_gbps = p.rate_gbps
-                            rec.ts = now
-                            rec.tx_bytes = p.tx_bytes
-                            rec.qlen = p._queued_bytes
-                        recs = pkt.int_records
-                        if recs is None:
-                            pkt.int_records = [rec]
-                        else:
-                            recs.append(rec)
-                        pkt.size += _INT_BYTES
-                if kind == ACK and pkt.fncc_in_port >= 0:
-                    ctrl = A.port_controllers[pkt.fncc_in_port]
-                    if ctrl is not None:
-                        rate = ctrl.fair_rate_gbps
-                        if pkt.rocc_rate_gbps is None or rate < pkt.rocc_rate_gbps:
-                            pkt.rocc_rate_gbps = rate
+                # Telemetry stamping moved to forward time (Switch.receive
+                # / _stamp_forward): A stamped this frame one hop ago, and
+                # B's stamp happens below, before B's admission.
             else:
                 hook = self._departure_hook
                 if hook is not None:  # non-switch custom hook: honor it
                     hook(pkt, self)
-            size = pkt.size  # re-read: INT stamping may have grown the frame
+            size = pkt.size  # re-read: a custom hook may mutate the frame
             peer.rx_packets += 1
             peer.rx_bytes += size
             in_p = peer.index
@@ -785,6 +748,58 @@ class Port:
                 raise RuntimeError(
                     f"{B.name}: routing loop, {pkt!r} back out port {out}"
                 )
+            # Switch.receive's forward-time stamp, inlined (third copy of
+            # the block — keep in sync with receive/_stamp_forward).
+            mode = B._int_mode
+            if mode is not _NONE_INT:
+                if mode is _HPCC:
+                    if kind == DATA:
+                        eg = B.ports[out]
+                        now = sim.now
+                        acct = eg._acct
+                        if acct and acct[0][0] <= now:
+                            eg._prune(now)
+                        rec = INTRecord(
+                            eg.rate_gbps, now, eg.tx_bytes, eg._queued_bytes
+                        )
+                        recs = pkt.int_records
+                        if recs is None:
+                            pkt.int_records = [rec]
+                        else:
+                            recs.append(rec)
+                        pkt.size += _INT_BYTES
+                elif kind == ACK:  # FNCC
+                    snap = B._int_snapshot
+                    rec = INTRecord.__new__(INTRecord)
+                    if snap is not None:
+                        s = snap[in_p]
+                        rec.bandwidth_gbps = s.bandwidth_gbps
+                        rec.ts = s.ts
+                        rec.tx_bytes = s.tx_bytes
+                        rec.qlen = s.qlen
+                    else:
+                        p = B.ports[in_p]
+                        now = sim.now
+                        acct = p._acct
+                        if acct and acct[0][0] <= now:
+                            p._prune(now)
+                        rec.bandwidth_gbps = p.rate_gbps
+                        rec.ts = now
+                        rec.tx_bytes = p.tx_bytes
+                        rec.qlen = p._queued_bytes
+                    recs = pkt.int_records
+                    if recs is None:
+                        pkt.int_records = [rec]
+                    else:
+                        recs.append(rec)
+                    pkt.size += _INT_BYTES
+            if kind == ACK:
+                ctrl = B.port_controllers[in_p]
+                if ctrl is not None:
+                    rate = ctrl.fair_rate_gbps
+                    if pkt.rocc_rate_gbps is None or rate < pkt.rocc_rate_gbps:
+                        pkt.rocc_rate_gbps = rate
+            size = pkt.size  # re-read: the stamp may have grown the frame
             if B.buffer_used + size > B._buffer_bytes:  # shared-buffer admission
                 B.drops += 1
                 peer.stats.drops += 1
@@ -838,7 +853,7 @@ class Port:
                             eg.max_qlen = qt
                     if eg._del_ev is None:
                         eg._del_ev = sim.schedule_at(
-                            inflight_e[0][0], eg._tx_deliver, None
+                            inflight_e[0][0], eg._tx_deliver, None, eg.lane
                         )
                 else:
                     ecn = eg.ecn
@@ -905,7 +920,7 @@ class Port:
             ev = self._del_ev
             ev.time = time = inflight[0][0]
             ev.seq = seq
-            ev.key = key = (time << 44) | seq
+            ev.key = key = (time << 64) | self._lane_key | seq
             ev.alive = True
             heappush(sim._heap, (key, ev))
         else:

@@ -183,7 +183,10 @@ class Switch(Node):
 
             self._refresh_int_table(self.sim.now)
             Periodic(
-                self.sim, self.config.int_table_refresh_ps, self._refresh_int_table
+                self.sim,
+                self.config.int_table_refresh_ps,
+                self._refresh_int_table,
+                self.lane,
             ).start()
 
     # -- data path ------------------------------------------------------------------
@@ -208,7 +211,7 @@ class Switch(Node):
         pkt.hops += 1
         lat = self._latency_ps
         if lat > 0:
-            self.sim.schedule(lat, self._forward, pkt)
+            self.sim.schedule(lat, self._forward, pkt, self.lane)
             return
         # Zero-latency fast path: _forward's body inlined (one Python call
         # per packet-hop saved; the latency>0 branch keeps the method).
@@ -221,6 +224,69 @@ class Switch(Node):
             raise RuntimeError(
                 f"{self.name}: routing loop, {pkt!r} back out port {out_port}"
             )
+        # INT stamping happens HERE — at forward time, not at delivery.
+        # The stamp is a pure function of this switch's state at this
+        # event, so a frame's bytes are final the moment it is forwarded:
+        # the shard boundary protocol (DESIGN.md §11) exports frames from
+        # the egress in-flight window and replays them in another engine,
+        # which is only sound because nothing rewrites them afterwards.
+        # It also sits BEFORE shared-buffer/PFC admission so the size
+        # admitted here is the size on_departure later releases.
+        mode = self._int_mode
+        if mode is not IntMode.NONE:
+            if mode is IntMode.HPCC:
+                if kind == DATA:
+                    # add_int + qbytes_total inlined (per-hop hot path);
+                    # the record describes the egress queue the frame is
+                    # about to join.
+                    eg = self.ports[out_port]
+                    now = self.sim.now
+                    acct = eg._acct
+                    if acct and acct[0][0] <= now:
+                        eg._prune(now)
+                    rec = INTRecord(
+                        eg.rate_gbps, now, eg.tx_bytes, eg._queued_bytes
+                    )
+                    recs = pkt.int_records
+                    if recs is None:
+                        pkt.int_records = [rec]
+                    else:
+                        recs.append(rec)
+                    pkt.size += INT_RECORD_BYTES
+            elif kind == ACK:  # FNCC
+                # _int_table_entry + add_int inlined (per-ACK-hop hot
+                # path); the record is built via __new__ to skip one
+                # Python call.
+                snap = self._int_snapshot
+                rec = INTRecord.__new__(INTRecord)
+                if snap is not None:
+                    s = snap[in_p]
+                    rec.bandwidth_gbps = s.bandwidth_gbps
+                    rec.ts = s.ts
+                    rec.tx_bytes = s.tx_bytes
+                    rec.qlen = s.qlen
+                else:
+                    p = self.ports[in_p]
+                    now = self.sim.now
+                    acct = p._acct
+                    if acct and acct[0][0] <= now:
+                        p._prune(now)
+                    rec.bandwidth_gbps = p.rate_gbps
+                    rec.ts = now
+                    rec.tx_bytes = p.tx_bytes
+                    rec.qlen = p._queued_bytes
+                recs = pkt.int_records
+                if recs is None:
+                    pkt.int_records = [rec]
+                else:
+                    recs.append(rec)
+                pkt.size += INT_RECORD_BYTES
+        if kind == ACK:
+            ctrl = self.port_controllers[in_p]
+            if ctrl is not None:
+                rate = ctrl.fair_rate_gbps
+                if pkt.rocc_rate_gbps is None or rate < pkt.rocc_rate_gbps:
+                    pkt.rocc_rate_gbps = rate
         size = pkt.size
         if self.buffer_used + size > self._buffer_bytes:  # shared-buffer admission
             self.drops += 1
@@ -245,7 +311,8 @@ class Switch(Node):
             raise RuntimeError(
                 f"{self.name}: routing loop, {pkt!r} back out port {out_port}"
             )
-        # Shared-buffer admission.
+        self._stamp_forward(pkt, out_port)
+        # Shared-buffer admission (post-stamp size, matching on_departure).
         if self.buffer_used + pkt.size > self.config.buffer_bytes:
             self.drops += 1
             self.ports[pkt.in_port].stats.drops += 1
@@ -255,62 +322,32 @@ class Switch(Node):
             self._pfc_admit(pkt)
         self.ports[out_port].enqueue(pkt)
 
-    def on_departure(self, pkt: Packet, port: Port) -> None:
-        size = pkt.size
-        self.buffer_used -= size
+    def _stamp_forward(self, pkt: Packet, out_port: int) -> None:
+        """Forward-time telemetry stamping (the cold-path twin of the block
+        inlined in :meth:`receive`; the fused train path in net/port.py
+        carries a third copy — keep all three in sync).  HPCC stamps the
+        egress queue a data frame is about to join; FNCC stamps the
+        request-direction port the ACK arrived on (Alg. 1 line 8); RoCC
+        min-combines the fair rate of that same port's controller.  All
+        reads are of *this* switch at *this* event, which is what makes a
+        forwarded frame immutable from here to its next hop (DESIGN.md
+        §11)."""
         kind = pkt.kind
-        if self._pfc_on and kind < PAUSE:  # non-control, single compare
-            # _pfc_release inlined (per-hop hot path).
-            in_p, prio = pkt.in_port, pkt.priority
-            counters = self._pfc_bytes[in_p]
-            counters[prio] -= size
-            if counters[prio] <= self._xon and self._pfc_paused_up[in_p][prio]:
-                self._pfc_paused_up[in_p][prio] = False
-                self._send_pfc(in_p, prio, RESUME)
         mode = self._int_mode
         if mode is IntMode.HPCC:
             if kind == DATA:
-                # add_int + qbytes_total inlined (per-hop hot path).
+                eg = self.ports[out_port]
                 now = self.sim.now
-                acct = port._acct
+                acct = eg._acct
                 if acct and acct[0][0] <= now:
-                    port._prune(now)
-                rec = INTRecord(
-                    port.rate_gbps, now, port.tx_bytes, port._queued_bytes
+                    eg._prune(now)
+                pkt.add_int(
+                    INTRecord(eg.rate_gbps, now, eg.tx_bytes, eg._queued_bytes)
                 )
-                recs = pkt.int_records
-                if recs is None:
-                    pkt.int_records = [rec]
-                else:
-                    recs.append(rec)
                 pkt.size += INT_RECORD_BYTES
         elif mode is IntMode.FNCC:
             if kind == ACK:
-                # _int_table_entry + add_int inlined (per-ACK-hop hot path);
-                # the record is built via __new__ to skip one Python call.
-                snap = self._int_snapshot
-                rec = INTRecord.__new__(INTRecord)
-                if snap is not None:
-                    s = snap[pkt.fncc_in_port]
-                    rec.bandwidth_gbps = s.bandwidth_gbps
-                    rec.ts = s.ts
-                    rec.tx_bytes = s.tx_bytes
-                    rec.qlen = s.qlen
-                else:
-                    p = self.ports[pkt.fncc_in_port]
-                    now = self.sim.now
-                    acct = p._acct
-                    if acct and acct[0][0] <= now:
-                        p._prune(now)
-                    rec.bandwidth_gbps = p.rate_gbps
-                    rec.ts = now
-                    rec.tx_bytes = p.tx_bytes
-                    rec.qlen = p._queued_bytes
-                recs = pkt.int_records
-                if recs is None:
-                    pkt.int_records = [rec]
-                else:
-                    recs.append(rec)
+                pkt.add_int(self._int_table_entry(pkt.fncc_in_port))
                 pkt.size += INT_RECORD_BYTES
         if kind == ACK and pkt.fncc_in_port >= 0:
             ctrl = self.port_controllers[pkt.fncc_in_port]
@@ -318,6 +355,24 @@ class Switch(Node):
                 rate = ctrl.fair_rate_gbps
                 if pkt.rocc_rate_gbps is None or rate < pkt.rocc_rate_gbps:
                     pkt.rocc_rate_gbps = rate
+
+    def on_departure(self, pkt: Packet, port: Port) -> None:
+        # Pure accounting: buffer release + PFC ingress-counter release.
+        # Telemetry stamping moved to forward time (_stamp_forward /
+        # receive's inline) so a frame is immutable once it sits in a
+        # port's in-flight window — the property the shard boundary export
+        # relies on (DESIGN.md §11).  The frame's size therefore no longer
+        # changes between admission and here: one read balances both.
+        size = pkt.size
+        self.buffer_used -= size
+        if self._pfc_on and pkt.kind < PAUSE:  # non-control, single compare
+            # _pfc_release inlined (per-hop hot path).
+            in_p, prio = pkt.in_port, pkt.priority
+            counters = self._pfc_bytes[in_p]
+            counters[prio] -= size
+            if counters[prio] <= self._xon and self._pfc_paused_up[in_p][prio]:
+                self._pfc_paused_up[in_p][prio] = False
+                self._send_pfc(in_p, prio, RESUME)
 
     # -- All_INT_Table (Fig. 8) --------------------------------------------------
     def _int_table_entry(self, port_idx: int) -> INTRecord:
@@ -490,7 +545,9 @@ class PfcWatchdog:
     def start(self) -> None:
         from repro.sim.timer import Periodic
 
-        self._poller = Periodic(self.sw.sim, self.config.poll_ps, self._poll)
+        self._poller = Periodic(
+            self.sw.sim, self.config.poll_ps, self._poll, self.sw.lane
+        )
         self._poller.start()
         self.sw.sim.register_monitor(self)
 

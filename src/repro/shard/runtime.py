@@ -1,0 +1,411 @@
+"""Conservative-synchronization shard runtime (DESIGN.md §11).
+
+Every shard advances its own event heap to a shared barrier horizon,
+exports the boundary frames whose serialization finished inside the
+closing window, and blocks until the coordinator has routed them to the
+owning shards for injection in the next window.  The window width never
+exceeds the cut set's minimum propagation delay (the lookahead), so an
+exported frame's arrival always lands strictly beyond the next barrier —
+no shard ever needs an event it has not been handed yet.
+
+Two interchangeable backends drive the same coordinator loop:
+
+* :class:`InProcessShards` — every shard engine lives in this process,
+  advanced round-robin.  Zero parallelism, full debuggability: this is
+  the determinism reference the process mode must match byte-for-byte.
+* :class:`ProcessShards` — one spawn worker per shard over the
+  ``repro.exec`` discipline (picklable build specs, crash surfacing),
+  messages over pipes.  A shard that dies mid-run triggers flight dumps
+  from every surviving shard before :class:`ShardCrash` is raised.
+
+Injection ordering (the §4.1 tie discipline across a cut): inbound
+frames are sorted by ``(arrival, sender shard, export position)`` before
+scheduling, so same-arrival frames from one sender shard keep their
+serial wire order, and the residual cross-sender coincidence at one
+picosecond is broken canonically by shard id.  Per-link arrivals are
+strictly monotonic, so the dominant ordering-sensitive pair (same-queue
+``_tx_deliver`` ties) cannot straddle one cut link at all.
+"""
+
+from __future__ import annotations
+
+import importlib
+import traceback
+from typing import Callable, Dict, List, Optional
+
+from repro.shard.boundary import Boundary, rewire_boundaries
+from repro.shard.partition import PartitionPlan, plan_partition
+
+
+class ShardCrash(RuntimeError):
+    """A shard died mid-run.  Carries the flight-dump paths collected
+    from every shard that could still produce one."""
+
+    def __init__(self, shard_id: int, reason: str, dumps: Dict[int, str]) -> None:
+        self.shard_id = shard_id
+        self.reason = reason
+        self.dumps = dumps
+        lines = [f"shard {shard_id} crashed: {reason.strip().splitlines()[-1]}"]
+        for sid in sorted(dumps):
+            lines.append(f"  flight dump [shard {sid}]: {dumps[sid]}")
+        super().__init__("\n".join(lines))
+
+
+class ShardFabric:
+    """What a shard builder returns: one complete fabric plus the
+    callables the runtime drives it through.
+
+    ``collect()`` returns the shard's plain-data result payload (owned
+    counters only); ``completed()`` returns the shard's completion count
+    for chunk-aligned stop checks (None when the scenario has a fixed
+    horizon instead).
+    """
+
+    __slots__ = ("sim", "topo", "collect", "completed", "tracer")
+
+    def __init__(
+        self,
+        sim,
+        topo,
+        collect: Callable[[], dict],
+        completed: Optional[Callable[[], int]] = None,
+        tracer=None,
+    ) -> None:
+        self.sim = sim
+        self.topo = topo
+        self.collect = collect
+        self.completed = completed
+        self.tracer = tracer
+
+
+class ShardEngine:
+    """One shard: fabric + boundary machinery, driven window by window."""
+
+    def __init__(self, fabric: ShardFabric, plan: PartitionPlan, shard_id: int) -> None:
+        self.fabric = fabric
+        self.plan = plan
+        self.shard_id = shard_id
+        self.sim = fabric.sim
+        self.boundaries: Dict[int, Boundary] = rewire_boundaries(
+            fabric.topo, plan, shard_id
+        )
+
+    def advance(self, horizon: int, inbound: List[tuple]) -> tuple:
+        """Inject ``inbound`` (pre-sorted ``(arrival, cut_index, frame)``
+        messages), run to ``horizon``, export the closing window.
+
+        Returns ``(outbound, completed, idle)``: the boundary messages,
+        the shard's completion count (or None) and whether the heap went
+        empty."""
+        sim = self.sim
+        boundaries = self.boundaries
+        for arrival, cut_index, frame in inbound:
+            b = boundaries[cut_index]
+            # The remote port's lane puts the injection at the exact heap
+            # rank the serial delivery event holds at this instant.
+            sim.schedule_at(arrival, b.inject, frame, b.inject_lane)
+        sim.run(until=horizon)
+        out: List[tuple] = []
+        for idx in sorted(boundaries):
+            out.extend(boundaries[idx].export(horizon))
+        done = self.fabric.completed
+        return (out, None if done is None else done(), sim.peek() is None)
+
+    def boundary_in_flight(self, horizon: int) -> int:
+        return sum(b.in_flight(horizon) for b in self.boundaries.values())
+
+    def collect(self) -> dict:
+        payload = self.fabric.collect()
+        payload["shard_id"] = self.shard_id
+        payload["boundary"] = {
+            "exported": sum(b.exported for b in self.boundaries.values()),
+            "injected": sum(b.injected for b in self.boundaries.values()),
+            "in_flight": self.boundary_in_flight(self.sim.now),
+        }
+        return payload
+
+    def flight_dump(self, path: Optional[str] = None) -> str:
+        import os
+        import tempfile
+
+        from repro.obs.flight import FlightRecorder
+
+        if path is None:
+            # The in-process backend dumps every shard from one pid; the
+            # recorder's pid-based default would make them overwrite
+            # each other.
+            path = os.path.join(
+                tempfile.gettempdir(),
+                f"flightrec-{os.getpid()}-shard{self.shard_id}.json",
+            )
+        rec = FlightRecorder(path=path, tracer=self.fabric.tracer)
+        rec.bind(sim=self.sim, topo=self.fabric.topo)
+        return rec.dump()
+
+
+def aligned_window(lookahead_ps: int, chunk_ps: Optional[int] = None) -> int:
+    """The widest window <= the lookahead that divides ``chunk_ps``, so
+    completion checks land exactly on the serial driver's chunk
+    boundaries (byte-identical stop time).  ``chunk_ps=None`` (fixed-
+    horizon scenarios) returns the lookahead itself."""
+    if lookahead_ps <= 0:
+        raise ValueError(f"lookahead must be positive, got {lookahead_ps}")
+    if chunk_ps is None:
+        return lookahead_ps
+    if lookahead_ps >= chunk_ps:
+        return chunk_ps
+    d = -(-chunk_ps // lookahead_ps)  # smallest divisor count >= chunk/L
+    while chunk_ps % d:
+        d += 1
+    return chunk_ps // d
+
+
+class InProcessShards:
+    """All shard engines in this process, advanced round-robin — the
+    determinism-debugging backend (ships first; the processes follow)."""
+
+    def __init__(self, engines: List[ShardEngine]) -> None:
+        self.engines = {eng.shard_id: eng for eng in engines}
+
+    def advance_all(self, horizon: int, inbound: Dict[int, List[tuple]]) -> Dict[int, tuple]:
+        results: Dict[int, tuple] = {}
+        for sid in sorted(self.engines):
+            eng = self.engines[sid]
+            try:
+                results[sid] = eng.advance(horizon, inbound.get(sid, []))
+            except Exception:
+                reason = traceback.format_exc()
+                dumps = {
+                    s: e.flight_dump() for s, e in sorted(self.engines.items())
+                }
+                raise ShardCrash(sid, reason, dumps) from None
+        return results
+
+    def collect_all(self) -> Dict[int, dict]:
+        return {sid: eng.collect() for sid, eng in sorted(self.engines.items())}
+
+    def tracers(self) -> Dict[int, object]:
+        return {
+            sid: eng.fabric.tracer
+            for sid, eng in sorted(self.engines.items())
+            if eng.fabric.tracer is not None
+        }
+
+    def stop(self) -> None:
+        return
+
+
+def _resolve(fn_path: str):
+    mod, _, qual = fn_path.partition(":")
+    obj = importlib.import_module(mod)
+    for part in qual.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def build_engine(build: dict, plan_dict: dict, shard_id: int) -> ShardEngine:
+    """Build one shard from a plain-data spec: ``build`` is
+    ``{"fn": "module:qualname", "kwargs": {...}}`` where ``fn`` returns a
+    :class:`ShardFabric` given ``(shard_id, owner, n_shards, **kwargs)``.
+    The worker re-derives the full plan (cuts, lookahead) from its own
+    deterministic topology copy."""
+    fabric = _resolve(build["fn"])(
+        shard_id, plan_dict["owner"], plan_dict["n_shards"], **build["kwargs"]
+    )
+    plan = plan_partition(fabric.topo, plan_dict["owner"], plan_dict["n_shards"])
+    return ShardEngine(fabric, plan, shard_id)
+
+
+def _shard_worker(conn, build: dict, plan_dict: dict, shard_id: int, dump_path) -> None:
+    """Spawn-worker main loop: build, then serve advance/collect/dump
+    requests until told to stop.  Any exception writes this shard's own
+    flight dump before the crash report goes up the pipe — the dump must
+    survive the process."""
+    eng = None
+    try:
+        eng = build_engine(build, plan_dict, shard_id)
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "advance":
+                conn.send(("ok",) + eng.advance(msg[1], msg[2]))
+            elif op == "collect":
+                conn.send(("ok", eng.collect()))
+            elif op == "dump":
+                conn.send(("ok", eng.flight_dump(dump_path)))
+            elif op == "stop":
+                return
+            else:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unknown shard op {op!r}")
+    except EOFError:  # pragma: no cover - coordinator died
+        return
+    except BaseException:
+        reason = traceback.format_exc()
+        dumped = eng.flight_dump(dump_path) if eng is not None else ""
+        try:
+            conn.send(("crashed", reason, dumped))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+
+
+class ProcessShards:
+    """One spawn process per shard, driven over pipes.
+
+    The spawn start method matches the ``repro.exec`` discipline: workers
+    import everything fresh, so build specs and messages must be plain
+    picklable data — which the S501 boundary rule keeps true by
+    construction.
+    """
+
+    def __init__(
+        self,
+        build: dict,
+        plan: PartitionPlan,
+        dump_dir: Optional[str] = None,
+    ) -> None:
+        import multiprocessing as mp
+        import os
+
+        ctx = mp.get_context("spawn")
+        self.plan = plan
+        self._conns = {}
+        self._procs = {}
+        plan_dict = plan.to_dict()
+        for sid in range(plan.n_shards):
+            dump_path = (
+                os.path.join(dump_dir, f"shard{sid}-flight.json") if dump_dir else None
+            )
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(child, build, plan_dict, sid, dump_path),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._conns[sid] = parent
+            self._procs[sid] = proc
+
+    def _recv(self, sid: int):
+        try:
+            reply = self._conns[sid].recv()
+        except (EOFError, OSError):
+            self._crash(sid, "worker process died (pipe closed)")
+        if reply[0] == "crashed":
+            self._crash(sid, reply[1], own_dump=reply[2])
+        return reply
+
+    def _crash(self, dead: int, reason: str, own_dump: str = ""):
+        """Collect flight dumps from every surviving shard, tear the
+        fleet down, raise.  The dead shard's dump (written by the worker
+        before it reported, when it could) rides along."""
+        dumps: Dict[int, str] = {}
+        if own_dump:
+            dumps[dead] = own_dump
+        for sid, conn in self._conns.items():
+            if sid == dead:
+                continue
+            try:
+                conn.send(("dump",))
+                reply = conn.recv()
+                if reply[0] == "ok" and reply[1]:
+                    dumps[sid] = reply[1]
+            except (EOFError, BrokenPipeError, OSError):  # pragma: no cover
+                continue
+        self.stop()
+        raise ShardCrash(dead, reason, dumps)
+
+    def advance_all(self, horizon: int, inbound: Dict[int, List[tuple]]) -> Dict[int, tuple]:
+        for sid, conn in self._conns.items():
+            conn.send(("advance", horizon, inbound.get(sid, [])))
+        results: Dict[int, tuple] = {}
+        for sid in sorted(self._conns):
+            reply = self._recv(sid)
+            results[sid] = (reply[1], reply[2], reply[3])
+        return results
+
+    def collect_all(self) -> Dict[int, dict]:
+        for conn in self._conns.values():
+            conn.send(("collect",))
+        out: Dict[int, dict] = {}
+        for sid in sorted(self._conns):
+            out[sid] = self._recv(sid)[1]
+        return out
+
+    def tracers(self) -> Dict[int, object]:
+        return {}
+
+    def stop(self) -> None:
+        for conn in self._conns.values():
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs.values():
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+        for conn in self._conns.values():
+            conn.close()
+        self._conns = {}
+        self._procs = {}
+
+
+def run_sharded(
+    group,
+    plan: PartitionPlan,
+    *,
+    until: Optional[int] = None,
+    chunk_ps: Optional[int] = None,
+    target: Optional[int] = None,
+    max_horizon_ps: Optional[int] = None,
+    window_ps: Optional[int] = None,
+) -> int:
+    """The coordinator loop: lockstep windows + barrier frame exchange.
+
+    Fixed-horizon scenarios pass ``until``; completion-driven scenarios
+    pass ``chunk_ps`` + ``target`` + ``max_horizon_ps`` and the loop
+    stops at the first chunk boundary with ``target`` completions — the
+    same stop rule, at the same timestamps, as the serial
+    :func:`~repro.experiments.fct_experiment.drive_fct`.  Returns the
+    final barrier time.
+    """
+    if (until is None) == (max_horizon_ps is None):
+        raise ValueError("pass exactly one of until= / max_horizon_ps=")
+    end = until if until is not None else max_horizon_ps
+    window = window_ps or aligned_window(plan.lookahead_ps, chunk_ps)
+    if window > plan.lookahead_ps:
+        raise ValueError(
+            f"window {window} exceeds the lookahead {plan.lookahead_ps}"
+        )
+    cuts = plan.cuts
+    pending: Dict[int, List[tuple]] = {s: [] for s in range(plan.n_shards)}
+    t = 0
+    while t < end:
+        t_next = min(t + window, end)
+        inbound = {
+            sid: [(a, ci, f) for (a, _s, _p, ci, f) in sorted(msgs)]
+            for sid, msgs in pending.items()
+            if msgs
+        }
+        results = group.advance_all(t_next, inbound)
+        pending = {s: [] for s in range(plan.n_shards)}
+        completed = 0
+        all_idle = True
+        for sid in sorted(results):
+            out, done, idle = results[sid]
+            if done is not None:
+                completed += done
+            if not idle:
+                all_idle = False
+            for pos, (ci, arrival, frame) in enumerate(out):
+                cut = cuts[ci]
+                recv = cut.owner_b if sid == cut.owner_a else cut.owner_a
+                pending[recv].append((arrival, sid, pos, ci, frame))
+        t = t_next
+        if target is not None and chunk_ps is not None and t % chunk_ps == 0:
+            if completed >= target:
+                break
+            if all_idle and not any(pending.values()):
+                break
+    return t

@@ -4,12 +4,20 @@ Design notes
 ------------
 * Time is an integer picosecond count (see :mod:`repro.units`).  Integer
   timestamps make the event order total and deterministic: ties are broken
-  by insertion sequence number.
-* :class:`Event` is orderable (``__lt__`` on its packed ``(time, seq)``
-  key); the heap stores ``(key, event)`` pairs so every sift comparison is
-  a single C-speed int compare — at the heap depths of fat-tree scenarios
-  (hundreds of armed ports and timers) this beats both the legacy
-  3-tuple-of-fields representation and Python-level ``__lt__`` dispatch.
+  first by the event's *lane* — a small static id allocated per simulation
+  entity (node, port) in construction order — then by insertion sequence
+  number.  Lane order is a property of the topology, not of execution
+  history, which is what makes the order reproducible across the sharded
+  engine's partitioned heaps (DESIGN.md §4.1/§11): two same-instant events
+  on different entities compare by lane on every shard exactly as they do
+  serially, and same-lane events belong to a single entity (hence a single
+  shard) whose causal creation order the shard replays.
+* :class:`Event` is orderable (``__lt__`` on its packed ``(time, lane,
+  seq)`` key); the heap stores ``(key, event)`` pairs so every sift
+  comparison is a single C-speed int compare — at the heap depths of
+  fat-tree scenarios (hundreds of armed ports and timers) this beats both
+  the legacy tuple-of-fields representation and Python-level ``__lt__``
+  dispatch.
   Cancellation marks the event dead instead of removing it from the heap
   (lazy deletion), which is both simpler and faster for the cancel-rarely
   workloads of a network sim.
@@ -59,6 +67,16 @@ _POOL_MAX = 8192
 #: rather than inheriting the parent's globals — tools/bench.py sets both.
 TRAINS = os.environ.get("REPRO_TRAINS", "on") != "off"
 
+#: Packed event-key layout: ``time << 64 | lane << 44 | seq``.  44 bits of
+#: sequence space is ~17.6 trillion events per run; 20 bits of lane space is
+#: ~1M entities — both far beyond any scenario, and Python's unbounded ints
+#: absorb the time field above them.  Lane 0 is reserved for un-laned events
+#: (experiment drivers, fault injectors) so allocated entity lanes can never
+#: collide with the default.
+LANE_BITS = 20
+SEQ_BITS = 44
+_MAX_LANES = 1 << LANE_BITS
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid scheduling requests or a corrupted event queue."""
@@ -71,19 +89,28 @@ class Event:
     the engine.  Handles must not be cancelled after their callback has run
     (the object may have been recycled — see the module docstring).
 
-    Ordering is by ``(time, seq)``, packed into the single integer ``key``
-    (``time << 44 | seq``) so the heap's ``__lt__`` is one C-speed int
-    compare instead of a two-field lexicographic test.  44 bits of sequence
-    space is ~17.6 trillion events per run — far beyond any scenario — and
-    time fits the remaining headroom of Python's unbounded ints exactly.
+    Ordering is by ``(time, lane, seq)``, packed into the single integer
+    ``key`` (``time << 64 | lane << 44 | seq``) so the heap's ``__lt__`` is
+    one C-speed int compare instead of a lexicographic field test.  The
+    lane (see :meth:`Simulator.alloc_lane`) makes same-instant cross-entity
+    ordering a static topology property rather than an execution-history
+    accident — the invariant the sharded engine's byte-identity rests on.
     """
 
-    __slots__ = ("time", "seq", "key", "fn", "arg", "alive")
+    __slots__ = ("time", "seq", "lane", "key", "fn", "arg", "alive")
 
-    def __init__(self, time: int, seq: int, fn: Callable[[Any], None], arg: Any) -> None:
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        fn: Callable[[Any], None],
+        arg: Any,
+        lane: int = 0,
+    ) -> None:
         self.time = time
         self.seq = seq
-        self.key = (time << 44) | seq
+        self.lane = lane
+        self.key = (time << 64) | (lane << 44) | seq
         self.fn = fn
         self.arg = arg
         self.alive = True
@@ -115,6 +142,7 @@ class Simulator:
         "now",
         "_heap",
         "_seq",
+        "_lanes",
         "_pool",
         "_running",
         "_stopped",
@@ -135,6 +163,7 @@ class Simulator:
         self.now: int = 0
         self._heap: list = []
         self._seq: int = 0
+        self._lanes: int = 0
         self._pool: list = []
         self._running: bool = False
         self._stopped: bool = False
@@ -163,8 +192,31 @@ class Simulator:
         # Periodic samplers registered for auto-stop (see stop_monitors).
         self.monitors: list = []
 
+    # -- lanes --------------------------------------------------------------
+    def alloc_lane(self) -> int:
+        """Allocate the next tie-break lane (see :class:`Event`).
+
+        Lanes must be allocated only on code paths every replica of the run
+        executes identically — in practice topology construction (nodes and
+        ports) — so serial and sharded builds of the same fabric agree on
+        every lane id.  Anything scheduling on behalf of an entity (timers,
+        samplers, congestion control) passes that entity's existing lane
+        instead of allocating its own.  Lane 0 is reserved for un-laned
+        events."""
+        lane = self._lanes + 1
+        if lane >= _MAX_LANES:
+            raise SimulationError("tie-break lane space exhausted")
+        self._lanes = lane
+        return lane
+
     # -- scheduling ---------------------------------------------------------
-    def schedule(self, delay: int, fn: Callable[[Any], None], arg: Any = None) -> Event:
+    def schedule(
+        self,
+        delay: int,
+        fn: Callable[[Any], None],
+        arg: Any = None,
+        lane: int = 0,
+    ) -> Event:
         """Schedule ``fn(arg)`` to run ``delay`` picoseconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
@@ -177,17 +229,24 @@ class Simulator:
             ev = pool.pop()
             ev.time = time
             ev.seq = seq
-            ev.key = key = (time << 44) | seq
+            ev.lane = lane
+            ev.key = key = (time << 64) | (lane << 44) | seq
             ev.fn = fn
             ev.arg = arg
             ev.alive = True
         else:
-            ev = Event(time, seq, fn, arg)
+            ev = Event(time, seq, fn, arg, lane)
             key = ev.key
         heappush(self._heap, (key, ev))
         return ev
 
-    def schedule_at(self, time: int, fn: Callable[[Any], None], arg: Any = None) -> Event:
+    def schedule_at(
+        self,
+        time: int,
+        fn: Callable[[Any], None],
+        arg: Any = None,
+        lane: int = 0,
+    ) -> Event:
         """Schedule ``fn(arg)`` at absolute time ``time`` (>= now)."""
         if time < self.now:
             raise SimulationError(
@@ -199,12 +258,13 @@ class Simulator:
             ev = pool.pop()
             ev.time = time
             ev.seq = seq
-            ev.key = key = (time << 44) | seq
+            ev.lane = lane
+            ev.key = key = (time << 64) | (lane << 44) | seq
             ev.fn = fn
             ev.arg = arg
             ev.alive = True
         else:
-            ev = Event(time, seq, fn, arg)
+            ev = Event(time, seq, fn, arg, lane)
             key = ev.key
         heappush(self._heap, (key, ev))
         return ev
@@ -227,7 +287,7 @@ class Simulator:
         time = self.now + delay
         ev.time = time
         ev.seq = seq
-        ev.key = key = (time << 44) | seq
+        ev.key = key = (time << 64) | (ev.lane << 44) | seq
         ev.alive = True
         heappush(self._heap, (key, ev))
         return ev
@@ -280,7 +340,7 @@ class Simulator:
                 # iteration covers "time > until" exactly.  Pop first and
                 # push back on the (once-per-run) horizon hit — cheaper than
                 # peeking every iteration.
-                horizon_key = (until + 1) << 44
+                horizon_key = (until + 1) << 64
                 while heap and not self._stopped:
                     item = pop(heap)
                     if item[0] >= horizon_key:
@@ -340,8 +400,9 @@ class Simulator:
         rec = self.tie_recorder
         pops = 0
         # Time parts of two packed keys match iff their XOR clears the high
-        # bits, i.e. is below the 44-bit sequence field — one int op per pop.
-        seq_mask = (1 << 44) - 1
+        # bits, i.e. is below the 64-bit lane+sequence field — one int op
+        # per pop.
+        seq_mask = (1 << 64) - 1
         try:
             if until is None:
                 while heap and not self._stopped:
@@ -365,7 +426,7 @@ class Simulator:
                             pool.append(ev)
                     dispatched += 1
             else:
-                horizon_key = (until + 1) << 44
+                horizon_key = (until + 1) << 64
                 while heap and not self._stopped:
                     item = pop(heap)
                     if item[0] >= horizon_key:

@@ -1,12 +1,13 @@
 """Runtime sanitizers: the event-tie detector (DESIGN.md §9).
 
 A *tie* is two live events scheduled at the same integer-picosecond
-timestamp.  The engine's ``(time, seq)`` key makes their dispatch order
-total and reproducible — but ``seq`` is insertion order, an accident of
-code layout, not a law of the modeled system.  Any refactor that changes
-*when* callbacks get scheduled (and the topology-partitioned sharded
-engine will change almost all of it) may legally flip the order of a tied
-pair, so a tie site is exactly an **ordering hazard**: the simulation
+timestamp.  The engine's ``(time, lane, seq)`` key makes their dispatch
+order total and reproducible: the lane is a static topology property
+(identical on every shard of a partitioned run), and same-lane ties fall
+back to ``seq`` — insertion order, an accident of code layout, not a law
+of the modeled system — which stays safe because same-lane events belong
+to one entity whose causal creation order every replica replays.  A tie
+site is still an **ordering hazard** worth mapping: the simulation
 analog of a data race.  The tie detector is the race detector — it
 records every heap pop whose timestamp ties another pending live event,
 attributes both callbacks to ``module:qualname``, and aggregates the

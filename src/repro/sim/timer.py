@@ -18,11 +18,14 @@ class Timer:
     invoked with the payload given at ``start`` time.
     """
 
-    __slots__ = ("_sim", "_fn", "_event")
+    __slots__ = ("_sim", "_fn", "_event", "_lane")
 
-    def __init__(self, sim: Simulator, fn: Callable[[Any], None]) -> None:
+    def __init__(
+        self, sim: Simulator, fn: Callable[[Any], None], lane: int = 0
+    ) -> None:
         self._sim = sim
         self._fn = fn
+        self._lane = lane
         self._event: Optional[Event] = None
 
     @property
@@ -37,7 +40,7 @@ class Timer:
     def start(self, delay: int, arg: Any = None) -> None:
         """Arm (or re-arm) the timer ``delay`` ps from now."""
         self.cancel()
-        self._event = self._sim.schedule(delay, self._fire, arg)
+        self._event = self._sim.schedule(delay, self._fire, arg, self._lane)
 
     def cancel(self) -> None:
         if self._event is not None:
@@ -57,13 +60,20 @@ class Periodic:
     receives the simulator time of the tick.
     """
 
-    __slots__ = ("_sim", "_fn", "interval", "_event", "_running")
+    __slots__ = ("_sim", "_fn", "interval", "_event", "_running", "_lane")
 
-    def __init__(self, sim: Simulator, interval: int, fn: Callable[[int], None]) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: int,
+        fn: Callable[[int], None],
+        lane: int = 0,
+    ) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
         self._sim = sim
         self._fn = fn
+        self._lane = lane
         self.interval = interval
         self._event: Optional[Event] = None
         self._running = False
@@ -77,7 +87,7 @@ class Periodic:
             return
         self._running = True
         delay = self.interval if offset is None else offset
-        self._event = self._sim.schedule(delay, self._tick, None)
+        self._event = self._sim.schedule(delay, self._tick, None, self._lane)
 
     def stop(self) -> None:
         self._running = False

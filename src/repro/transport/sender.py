@@ -205,7 +205,7 @@ class SenderQP:
         self._pace_ev = None
         self._pool = host.pkt_pool
         self._nic = None  # bound lazily: hosts may be wired after flow setup
-        self._retx_timer = Timer(self.sim, self._retx_fire)
+        self._retx_timer = Timer(self.sim, self._retx_fire, host.lane)
         self._pace_armed_for: Optional[int] = None
         self.on_complete: Optional[Callable[["SenderQP"], None]] = None
         self.acks_received = 0
@@ -266,7 +266,7 @@ class SenderQP:
                         # fncc-lint: allow[H301] Event.cancel() inlined on a live handle this QP owns; re-arm path
                         ev.alive = False
                     self._pace_ev = self.sim.schedule(
-                        next_tx - now, self._pace_fire
+                        next_tx - now, self._pace_fire, None, self.host.lane
                     )
                     self._pace_armed_for = next_tx
                 return

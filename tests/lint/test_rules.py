@@ -638,9 +638,85 @@ def test_multi_rule_suppression():
     ) == []
 
 
+# -- S501: shard isolation ---------------------------------------------------
+
+SHARD_PATH = "src/repro/shard/coordinator_fixture.py"
+
+
+def test_s501_private_reach_through_flagged():
+    assert rules_hit(
+        """
+        def steal(engine):
+            return engine.sim._heap[0]
+        """,
+        relpath=SHARD_PATH,
+        rules=["S501"],
+    ) == ["S501"]
+
+
+def test_s501_own_private_state_clean():
+    assert rules_hit(
+        """
+        class Coordinator:
+            def __init__(self):
+                self._pending = []
+            def push(self, msg):
+                self._pending.append(msg)
+        """,
+        relpath=SHARD_PATH,
+        rules=["S501"],
+    ) == []
+
+
+def test_s501_public_surface_clean():
+    assert rules_hit(
+        """
+        def drive(engine, horizon):
+            return engine.advance(horizon, [])
+        """,
+        relpath=SHARD_PATH,
+        rules=["S501"],
+    ) == []
+
+
+def test_s501_boundary_adapter_exempt():
+    assert rules_hit(
+        """
+        def export(port):
+            return list(port._inflight)
+        """,
+        relpath="src/repro/shard/boundary.py",
+        rules=["S501"],
+    ) == []
+
+
+def test_s501_outside_shard_package_not_in_scope():
+    assert rules_hit(
+        """
+        def peek(port):
+            return port._inflight
+        """,
+        relpath=NEUTRAL,
+        rules=["S501"],
+    ) == []
+
+
+def test_s501_suppressible_with_justification():
+    assert rules_hit(
+        """
+        def peek(engine):
+            # fncc-lint: allow[S501] read-only debug dump, never in the run loop
+            return engine.sim._heap
+        """,
+        relpath=SHARD_PATH,
+        rules=["S501"],
+    ) == []
+
+
 def test_every_registered_rule_has_a_design_ref():
     assert set(RULES) >= {
         "D101", "D102", "D103", "P201", "P202", "H301", "H302", "O401", "O402",
+        "S501",
     }
     for name, (_, summary, ref) in RULES.items():
         assert summary and ref.startswith("DESIGN.md"), name

@@ -200,7 +200,15 @@ class TestHpccIntInsertion:
         assert pkt.n_hops == 1
         rec = pkt.int_records[0]
         assert rec.bandwidth_gbps == 100.0
-        assert rec.tx_bytes >= pkt.size - INT_RECORD_BYTES
+        # Forward-time stamping (DESIGN.md §11): the record describes the
+        # egress queue as the frame joins it, so the first frame through an
+        # idle switch sees zero bytes already transmitted on that egress.
+        assert rec.tx_bytes == 0
+        a.ports[0].enqueue(data(seq=1))
+        sim.run()
+        rec2 = b.arrivals[1][1].int_records[0]
+        # The second frame's record counts the first one's wire bytes.
+        assert rec2.tx_bytes == b.arrivals[0][1].size
 
     def test_int_grows_packet_size(self, sim):
         a, sw, b = chain(sim, SwitchConfig(int_mode=IntMode.HPCC))

@@ -49,6 +49,21 @@ trains-off beyond ``--threshold`` on any scenario — the CI gate that keeps
 the fast path from ever costing wall-clock.  (Semantic equivalence of the
 two modes is pinned separately by tests/property/test_trains.py.)
 
+``--shards N`` runs the shard-capable scenarios (``shard_scale``) on the
+topology-partitioned conservative-sync engine (DESIGN.md §11) with N
+shards; ``--shards 1`` (the default) is the serial engine.  Results are
+byte-identical either way (pinned by tests/shard/test_identity.py), so
+the wall ratio between a ``--shards 1`` and a ``--shards N`` entry is
+pure engine overhead/parallelism.  Entries record ``shards`` next to
+``cpu_count`` and ``--check``/speedup baselines only compare matching
+shard counts: on a 1-core recorder an N-shard entry measures protocol
+overhead, not speedup, and the provenance pair keeps that honest.
+``--ab-shards`` runs the cell serial AND N-shard (default 2) in paired
+rounds, asserts byte-identity of the FCT + PortStats fingerprints, and
+fails (exit 1) when the in-process sharded wall exceeds 2x(1+threshold)
+serial on the quietest round — within-2x total compute is the condition
+for the ≥2x projected speedup at 4 shards on a 4-core machine.
+
 ``--sanitize tie,pool`` runs every scenario under the named runtime
 sanitizers (``REPRO_SANITIZE``; DESIGN.md §9 — debug-only, observation-
 only).  Entries record a ``sanitize`` provenance field (``"off"`` when
@@ -65,6 +80,7 @@ Entry schema (one JSON object per run)::
     timestamp, git_rev, python, label    provenance
     repeats, jobs, cpu_count, trains     measurement parameters
     sanitize                             runtime sanitizers ("off" or modes)
+    shards                               engine partition count (1 = serial)
     scenarios: {name: {
         wall_s,            # MEDIAN wall seconds over repeats
         wall_min_s,        # MIN over repeats — the metric --check gates
@@ -103,6 +119,7 @@ from benchmarks.perf_harness import (  # noqa: E402
     OBS_SCENARIOS,
     QUICK_SCENARIOS,
     SCENARIOS,
+    SHARDS_SCENARIOS,
     measure_all,
     speedup,
 )
@@ -137,15 +154,19 @@ def find_baseline(
     trains: str = "on",
     backend: str = "default",
     sanitize: str = "off",
+    shards: int = 1,
 ) -> dict:
     """The speedup reference: the entry tagged ``"label": "baseline"``, else
     the oldest entry — considering only entries measured with the same
-    ``jobs`` value, ``trains`` mode, ``backend`` and ``sanitize`` modes.
-    Comparing wall times across worker counts would report parallelism as
-    hot-path speedup, across train modes would report the fast path as
-    history, across backends would report the fluid tier as a packet-engine
-    win, and across sanitize modes would report debug instrumentation as a
-    regression (the same rules ``--check`` enforces)."""
+    ``jobs`` value, ``trains`` mode, ``backend``, ``sanitize`` modes and
+    ``shards`` count.  Comparing wall times across worker counts would
+    report parallelism as hot-path speedup, across train modes would report
+    the fast path as history, across backends would report the fluid tier
+    as a packet-engine win, across sanitize modes would report debug
+    instrumentation as a regression, and across shard counts would report
+    the partitioned engine's sync overhead (or its parallelism, on a
+    multi-core recorder) as a hot-path delta (the same rules ``--check``
+    enforces)."""
     candidates = [
         e
         for e in trajectory
@@ -153,6 +174,7 @@ def find_baseline(
         and entry_trains(e) == trains
         and entry_backend(e) == backend
         and entry_sanitize(e) == sanitize
+        and entry_shards(e) == shards
     ]
     for entry in candidates:
         if entry.get("label") == "baseline":
@@ -190,6 +212,14 @@ def entry_sanitize(entry: dict) -> str:
     to ``"off"`` or a sorted comma-join (``"pool,tie"``).  Entries predating
     the sanitizers ran without them."""
     return norm_sanitize(entry.get("sanitize", "off"))
+
+
+def entry_shards(entry: dict) -> int:
+    """The shard count an entry was measured with (``1`` = the serial
+    engine; entries predating the partitioned engine were all serial).
+    Read alongside ``cpu_count``: a ``shards=4`` entry recorded on a
+    1-core machine measures protocol overhead, not speedup."""
+    return int(entry.get("shards", 1))
 
 
 def norm_sanitize(spec: str) -> str:
@@ -237,6 +267,7 @@ def check_regression(trajectory: list, threshold: float = 0.15) -> int:
     trains = entry_trains(newest)
     backend = entry_backend(newest)
     sanitize = entry_sanitize(newest)
+    shards = entry_shards(newest)
     prev = None
     prev_pos = -1
     for pos in range(len(trajectory) - 2, -1, -1):
@@ -246,6 +277,7 @@ def check_regression(trajectory: list, threshold: float = 0.15) -> int:
             and entry_trains(cand) == trains
             and entry_backend(cand) == backend
             and entry_sanitize(cand) == sanitize
+            and entry_shards(cand) == shards
         ):
             prev = cand
             prev_pos = pos
@@ -254,6 +286,7 @@ def check_regression(trajectory: list, threshold: float = 0.15) -> int:
         print(
             f"check: no previous entry measured with jobs={jobs} "
             f"trains={trains} backend={backend} sanitize={sanitize} "
+            f"shards={shards} "
             f"(newest: {newest.get('label') or newest.get('git_rev')}) — "
             "nothing comparable to gate against yet"
         )
@@ -273,7 +306,8 @@ def check_regression(trajectory: list, threshold: float = 0.15) -> int:
         f"check: entry #{len(trajectory)} ({newest.get('label') or newest.get('git_rev')}) "
         f"vs #{prev_pos + 1} ({prev.get('label') or prev.get('git_rev')}), "
         f"jobs={jobs}, trains={trains}, backend={backend}, "
-        f"sanitize={sanitize}, threshold +{threshold:.0%} on wall_min_s"
+        f"sanitize={sanitize}, shards={shards}, "
+        f"threshold +{threshold:.0%} on wall_min_s"
     )
     for name in shared:
         # Gate on the min over repeats, not the median: robust to noisy-
@@ -412,6 +446,28 @@ def _main(argv=None) -> int:
         "never writes the trajectory)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="topology shards for the shard-capable scenarios "
+        f"({sorted(SHARDS_SCENARIOS)}); 1 = the serial engine, N>1 = the "
+        "partitioned conservative-sync engine (byte-identical results — "
+        "DESIGN.md §11); recorded with cpu_count in the entry so --check "
+        "only compares matching shard counts and speedup claims carry "
+        "their core-count provenance",
+    )
+    parser.add_argument(
+        "--ab-shards",
+        action="store_true",
+        help="run the shard_scale cell serial AND partitioned (--shards N, "
+        "default 2) in paired rounds; exit 1 if the FCT or merged "
+        "PortStats fingerprints differ (byte-identity is the sharded "
+        "engine's correctness bar — DESIGN.md §11) or the in-process "
+        "sharded run's protocol overhead exceeds --threshold over the "
+        "per-shard compute on the quietest round (never writes the "
+        "trajectory)",
+    )
+    parser.add_argument(
         "--ab-faults",
         action="store_true",
         help="measure the §5.5 FCT cell with the fault layer off "
@@ -434,6 +490,8 @@ def _main(argv=None) -> int:
 
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.shards < 1:
+        parser.error("--shards must be >= 1 (1 = serial engine)")
     if args.lookahead < 0:
         parser.error("--lookahead must be >= 1 (0 = keep the port default)")
     if args.lookahead:
@@ -589,6 +647,100 @@ def _main(argv=None) -> int:
             return 1
         return 0
 
+    if args.ab_shards:
+        from benchmarks.perf_harness import SHARD_SCALE_KW
+        from repro.experiments.fct_experiment import run_fct_experiment
+        from repro.shard import run_sharded_fct
+        from repro.shard.builders import portstats_rows
+
+        n = max(2, args.shards)
+        rounds = 3 if args.quick else max(3, args.repeats)
+        print(
+            f"A/B serial vs {n}-shard partitioned: shard_scale cell "
+            f"(rounds={rounds}, paired) ...",
+            flush=True,
+        )
+
+        def _rows13(rows) -> tuple:
+            # All PortStats counters except the last column: train_frames
+            # legitimately differs on the cut ports (a boundary hop cannot
+            # fuse, by design — tests/shard/test_identity.py pins the
+            # per-cut-port masking; the gate uses the simpler global drop).
+            return tuple(tuple(r)[:-1] for r in rows)
+
+        # Paired rounds (cf. --ab-faults): serial and sharded run back to
+        # back so machine drift hits both sides of each ratio; the wall
+        # gate reads the *minimum* round ratio.  Identity is absolute:
+        # every round of every mode must reproduce the same fingerprints,
+        # and sharded must equal serial byte for byte.  The wall bound is
+        # 2x(1+threshold): in-process the N shards' event loops serialize
+        # on one core, so the sharded wall is (sum of per-shard compute +
+        # per-horizon sync); keeping it within 2x serial is exactly the
+        # <=100%-overhead condition the >=2x-at-4-shards projection needs
+        # (on >=N cores, wall ~ sharded/N for balanced partitions, so
+        # projected speedup ~ N * serial/sharded).
+        walls = {"serial": None, "sharded": None}
+        fps = {}
+        ratios = []
+        for _ in range(rounds):
+            round_walls = {}
+            for mode in ("serial", "sharded"):
+                t0 = time.perf_counter()
+                if mode == "serial":
+                    res = run_fct_experiment("fncc", **SHARD_SCALE_KW)
+                    rows = sorted(
+                        tuple(r)
+                        for r in portstats_rows(
+                            list(res.topo.hosts) + list(res.topo.switches)
+                        )
+                    )
+                else:
+                    res = run_sharded_fct("fncc", shards=n, **SHARD_SCALE_KW)
+                    rows = res.portstats
+                round_walls[mode] = time.perf_counter() - t0
+                fp = (res.fct_fingerprint(), _rows13(rows))
+                if mode not in fps:
+                    fps[mode] = fp
+                elif fps[mode] != fp:
+                    print(f"ab-shards: mode {mode!r} is not run-to-run deterministic")
+                    return 1
+            ratios.append(round_walls["sharded"] / round_walls["serial"])
+            for mode, w in round_walls.items():
+                cur = walls[mode]
+                walls[mode] = w if cur is None else min(cur, w)
+        if fps["serial"] != fps["sharded"]:
+            print(
+                f"ab-shards: FAIL — the {n}-shard run diverged from the "
+                "serial engine (FCT/PortStats fingerprints differ); the "
+                "conservative-sync protocol is broken"
+            )
+            return 1
+        ratio = min(ratios)
+        bound = 2 * (1 + args.threshold)
+        verdict = "FAIL" if ratio > bound else "ok"
+        projected = n * walls["serial"] / walls["sharded"]
+        print(
+            f"  fingerprints: identical ({len(fps['serial'][0])} flows, "
+            f"{len(fps['serial'][1])} port rows)"
+        )
+        print(
+            f"  wall: serial {walls['serial']:.3f}s -> {n}-shard in-process "
+            f"{walls['sharded']:.3f}s (min round ratio {ratio:.3f}, "
+            f"bound {bound:.2f}) {verdict}"
+        )
+        print(
+            f"  projection: ~{projected:.2f}x on >={n} cores "
+            f"({n} x serial/sharded; this machine has {os.cpu_count()})"
+        )
+        if verdict == "FAIL":
+            print(
+                "ab-shards: partition/sync overhead exceeded the gate "
+                "(sharded total compute must stay within 2x serial for the "
+                ">=2x-at-4-shards projection to hold)"
+            )
+            return 1
+        return 0
+
     if args.ab_faults:
         from repro.experiments.common import portstats_fingerprint
         from repro.experiments.fct_experiment import run_fct_experiment
@@ -682,10 +834,23 @@ def _main(argv=None) -> int:
             "backend=default"
         )
 
+    # And for --shards: only a shard-capable scenario makes an entry a
+    # shards=N measurement.
+    effective_shards = (
+        args.shards if any(n in SHARDS_SCENARIOS for n in names) else 1
+    )
+    if args.shards != 1 and effective_shards == 1:
+        print(
+            f"note: --shards {args.shards} has no effect on {names} (only "
+            f"{sorted(SHARDS_SCENARIOS)} honour it); recording entry as "
+            "shards=1"
+        )
+
     print(
         f"measuring {names} (repeats={repeats}, jobs={effective_jobs}"
         + (f", backend={effective_backend}" if effective_backend != "default" else "")
         + (f", sanitize={sanitize}" if sanitize != "off" else "")
+        + (f", shards={effective_shards}" if effective_shards != 1 else "")
         + ") ...",
         flush=True,
     )
@@ -696,7 +861,7 @@ def _main(argv=None) -> int:
         )
     metrics = measure_all(
         names, repeats=repeats, jobs=effective_jobs, backend=args.backend,
-        progress=args.progress,
+        shards=effective_shards, progress=args.progress,
     )
 
     trajectory = load_trajectory(args.out)
@@ -706,6 +871,7 @@ def _main(argv=None) -> int:
         trains=args.trains,
         backend=effective_backend,
         sanitize=sanitize,
+        shards=effective_shards,
     )
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -718,6 +884,7 @@ def _main(argv=None) -> int:
         "trains": args.trains,
         "backend": effective_backend,
         "sanitize": sanitize,
+        "shards": effective_shards,
         "scenarios": metrics,
     }
     if args.progress and any(n in OBS_SCENARIOS for n in names):

@@ -23,5 +23,6 @@ from tools.lint import (  # noqa: F401  (import-for-registration)
     rules_hotpath,
     rules_obs,
     rules_pickle,
+    rules_shard,
 )
 from tools.lint.core import RULES, Finding, lint_paths, lint_source  # noqa: F401

@@ -84,6 +84,14 @@ DEFAULTS: Dict[str, Any] = {
     },
     "p201": {"spec_classes": ["RunSpec"]},
     "p202": {"spec_classes": ["RunSpec"]},
+    "s501": {
+        # Shard isolation (DESIGN.md §11): only the boundary adapter may
+        # reach into fabric objects' private machinery; everything else in
+        # the shard package drives fabrics through their public surface so
+        # the in-process and process-backed runtimes stay interchangeable.
+        "shard_modules": ["src/repro/shard"],
+        "adapter_modules": ["src/repro/shard/boundary.py"],
+    },
     "h301": {
         # protected attribute -> modules allowed to assign it.  port.py is a
         # sanctioned friend of the engine: Port._tx_deliver inlines
